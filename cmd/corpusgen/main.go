@@ -1,0 +1,139 @@
+// Command corpusgen generates and inspects the synthetic LRE09 substitute
+// corpus: it prints per-split statistics (sizes, channel mixes, duration
+// realizations), per-language phonotactic divergences, and optionally a
+// sample utterance's phone string through each front-end's decoder.
+//
+// Usage:
+//
+//	corpusgen -scale small -seed 42
+//	corpusgen -kl              # language confusability matrix summary
+//	corpusgen -sample farsi    # decode one utterance through all front-ends
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/frontend"
+	"repro/internal/rng"
+	"repro/internal/synthlang"
+	"repro/internal/synthspeech"
+	"repro/internal/wav"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("corpusgen: ")
+	var (
+		scaleFlag = flag.String("scale", "small", "corpus scale: tiny|small|medium|full")
+		seed      = flag.Uint64("seed", 42, "corpus seed")
+		showKL    = flag.Bool("kl", false, "print closest-language pairs by phonotactic KL divergence")
+		sample    = flag.String("sample", "", "decode one utterance of this language through all six front-ends")
+		wavOut    = flag.String("wav", "", "with -sample: also render the utterance's audio to this WAV file")
+	)
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := experiments.CorpusConfig(scale, *seed)
+	c := corpus.Build(cfg)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "split\tutterances\tcts-clean\tcts-noisy\tvoa\tmean dur (s)\n")
+	report := func(name string, s *corpus.Split) {
+		ch := s.ChannelCounts()
+		var totalMs float64
+		for _, it := range s.Items {
+			totalMs += it.U.TotalDurMs()
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.1f\n", name, s.Len(),
+			ch[synthlang.ChannelCTSClean], ch[synthlang.ChannelCTSNoisy], ch[synthlang.ChannelVOA],
+			totalMs/float64(s.Len())/1000)
+	}
+	report("train", c.Train)
+	for _, dur := range corpus.Durations {
+		report(fmt.Sprintf("dev-%gs", dur), c.Dev[dur])
+	}
+	for _, dur := range corpus.Durations {
+		report(fmt.Sprintf("test-%gs", dur), c.Test[dur])
+	}
+	w.Flush()
+
+	if *showKL {
+		fmt.Println("\nclosest language pairs (symmetrized phonotactic KL):")
+		type pair struct {
+			a, b string
+			kl   float64
+		}
+		var pairs []pair
+		for i := 0; i < len(c.Langs); i++ {
+			for j := i + 1; j < len(c.Langs); j++ {
+				kl := synthlang.KLDivergence(c.Langs[i], c.Langs[j]) +
+					synthlang.KLDivergence(c.Langs[j], c.Langs[i])
+				pairs = append(pairs, pair{c.Langs[i].Name, c.Langs[j].Name, kl})
+			}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].kl < pairs[j].kl })
+		for _, pr := range pairs[:10] {
+			fmt.Printf("  %-12s %-12s %.4f\n", pr.a, pr.b, pr.kl)
+		}
+	}
+
+	if *sample != "" {
+		var lang *synthlang.Language
+		for _, l := range c.Langs {
+			if l.Name == *sample {
+				lang = l
+			}
+		}
+		if lang == nil {
+			log.Fatalf("unknown language %q (choose from %v)", *sample, synthlang.LanguageNames)
+		}
+		r := rng.New(*seed + 1234)
+		spk := synthlang.NewSpeaker(r, 0)
+		u := lang.Sample(r, 5, spk, synthlang.ChannelCTSClean)
+		fmt.Printf("\nsample %s utterance: %d phones, %.1fs, channel %s\n",
+			lang.Name, len(u.Segments), u.TotalDurMs()/1000, u.Channel)
+		if *wavOut != "" {
+			samples := synthspeech.New().Render(r.SplitString("render"), u)
+			var peak float64
+			for _, v := range samples {
+				if a := math.Abs(v); a > peak {
+					peak = a
+				}
+			}
+			if peak > 0 {
+				for i := range samples {
+					samples[i] *= 0.99 / peak
+				}
+			}
+			if err := wav.WriteFile(*wavOut, samples, synthspeech.SampleRate); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%.1fs at %d Hz)\n", *wavOut,
+				float64(len(samples))/synthspeech.SampleRate, synthspeech.SampleRate)
+		}
+		for _, fe := range frontend.StandardSix(*seed) {
+			l := fe.Decode(r.SplitString(fe.Name), u)
+			best, _ := l.BestPath()
+			fmt.Printf("  %-7s (%d phones): lattice %d nodes / %d edges, 1-best %v…\n",
+				fe.Name, fe.Set.Size, l.NumNodes, l.NumEdges(), truncate(best, 15))
+		}
+	}
+}
+
+func truncate(xs []int, n int) []int {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	return xs
+}

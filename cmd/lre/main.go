@@ -1,0 +1,148 @@
+// Command lre regenerates the paper's evaluation tables and figures on the
+// synthetic LRE09 substitute corpus.
+//
+// Usage:
+//
+//	lre -scale medium -seed 42 -table all     # Tables 1–5 + Fig. 3
+//	lre -table 1                              # T_DBA composition vs V
+//	lre -table 2                              # DBA-M1 sweep
+//	lre -table 3                              # DBA-M2 sweep
+//	lre -table 4 -V 3                         # fusion comparison
+//	lre -table 5                              # real-time factors
+//	lre -fig 3                                # DET curve points
+//	lre -ablation vote                        # vote-criterion ablation
+//
+// The pipeline (corpus generation, decoding, supervector extraction,
+// baseline training) is built once and shared by all requested outputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/dba"
+	"repro/internal/experiments"
+	"repro/internal/scorefile"
+	"repro/internal/synthlang"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lre: ")
+	var (
+		scaleFlag = flag.String("scale", "small", "corpus scale: tiny|small|medium|full")
+		seed      = flag.Uint64("seed", 42, "experiment seed")
+		table     = flag.String("table", "", "table to regenerate: 1|2|3|4|5|all")
+		fig       = flag.String("fig", "", "figure to regenerate: 3")
+		vFlag     = flag.Int("V", 3, "vote threshold for Table 4 / Fig. 3")
+		ablation  = flag.String("ablation", "", "ablation to run: vote|fa")
+		iterate   = flag.Int("iterate", 0, "run N-round iterated DBA (extension; 0 = off)")
+		openset   = flag.Int("openset", 0, "evaluate open-set condition with N out-of-set languages (extension; 0 = off)")
+		scoresOut = flag.String("scores", "", "write LRE-style score files for the baseline subsystems to this path")
+	)
+	flag.Parse()
+	if *table == "" && *fig == "" && *ablation == "" {
+		*table = "all"
+	}
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wantTable := func(n string) bool {
+		return *table == "all" || *table == n ||
+			strings.Contains(","+*table+",", ","+n+",")
+	}
+	needPipeline := wantTable("1") || wantTable("2") || wantTable("3") ||
+		wantTable("4") || *fig == "3" || *ablation != "" || *scoresOut != "" || *iterate > 0 || *openset > 0
+
+	var p *experiments.Pipeline
+	if needPipeline {
+		start := time.Now()
+		log.Printf("building pipeline (scale=%s seed=%d)…", scale, *seed)
+		p = experiments.BuildPipeline(scale, *seed)
+		log.Printf("pipeline ready in %.1fs: train=%d dev=%d test=%d utterances × 6 front-ends",
+			time.Since(start).Seconds(), len(p.TrainLabels), len(p.DevLabels), len(p.TestLabels))
+	}
+
+	out := os.Stdout
+	if wantTable("1") {
+		fmt.Fprintln(out, experiments.RunTable1(p))
+	}
+	if wantTable("2") {
+		fmt.Fprintln(out, experiments.RunTableDBA(p, dba.M1))
+	}
+	if wantTable("3") {
+		fmt.Fprintln(out, experiments.RunTableDBA(p, dba.M2))
+	}
+	if wantTable("4") {
+		t4 := experiments.RunTable4(p, *vFlag)
+		fmt.Fprintln(out, t4)
+		fmt.Fprintln(out, t4.Summary())
+	}
+	if wantTable("5") {
+		t5, err := experiments.RunTable5(experiments.DefaultTable5Config())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, t5)
+	}
+	if *fig == "3" {
+		fmt.Fprintln(out, experiments.RunFig3(p, *vFlag))
+	}
+	if *ablation == "vote" {
+		fmt.Fprintln(out, experiments.RunVoteAblation(p, *vFlag))
+	}
+	if *ablation == "fa" {
+		fmt.Fprintln(out, "Vote-calibration FA sweep (|T_DBA| and label error at V=3):")
+		for _, fa := range []float64{0.01, 0.02, 0.03, 0.05, 0.08, 0.12} {
+			st := p.SelectionStatsAtFA(fa, *vFlag)
+			fmt.Fprintf(out, "  fa=%-5.2f |T_DBA|=%5d  err=%5.2f%%\n", st.FA, st.Size, st.ErrorRatePct)
+		}
+		fmt.Fprintln(out)
+	}
+	if *iterate > 0 {
+		o := p.IterativeDBA(*vFlag, dba.M2, *iterate)
+		fmt.Fprintln(out, p.IterativeReport(o))
+	}
+	if *openset > 0 {
+		fmt.Fprintln(out, experiments.RunOpenSet(p, *openset, 8))
+	}
+	if *scoresOut != "" {
+		if err := writeScores(p, *scoresOut); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote score file %s", *scoresOut)
+	}
+}
+
+// writeScores dumps every baseline subsystem's pooled test scores as an
+// LRE-style score file, one system per front-end, ready for external
+// scoring tools (or for re-evaluation via internal/scorefile).
+func writeScores(p *experiments.Pipeline, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var records []scorefile.Record
+	for q, d := range p.Data {
+		for _, dur := range corpus.Durations {
+			// Restrict to the duration tier so each record carries its
+			// nominal duration.
+			scores := make([][]float64, len(p.TestLabels))
+			for _, j := range p.TestIdx[dur] {
+				scores[j] = p.BaselineScores[q][j]
+			}
+			records = append(records, scorefile.FromScoreMatrix(
+				"baseline-"+d.Name, dur, scores, p.TestLabels, synthlang.LanguageNames, nil)...)
+		}
+	}
+	return scorefile.Write(f, records)
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Discriminative
+// Boosting Algorithm for Diversified Front-End Phonotactic Language
+// Recognition" (Liu, Cai, Zhang, Liu, Johnson — J. Signal Processing
+// Systems 80(3), 2015): the PPRVSM phonotactic language-recognition stack
+// (parallel phone recognizers → lattices → expected N-gram supervectors →
+// TFLLR-kernel SVMs → LDA-MMI fusion) and the paper's DBA self-training
+// variant, evaluated on a synthetic 23-language LRE09 substitute corpus.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and the
+// paper-metadata note, EXPERIMENTS.md for paper-vs-measured results, and
+// bench_test.go for the per-table benchmark harness.
+package repro

@@ -1,0 +1,100 @@
+// Package align implements Levenshtein sequence alignment for phone error
+// rate computation: given a reference and a hypothesis phone string, it
+// returns the minimal-edit alignment counts (hits, substitutions,
+// insertions, deletions), from which phone accuracy and PER are derived.
+// Used by decoder diagnostics and tests.
+package align
+
+// Counts summarizes an alignment.
+type Counts struct {
+	Hits, Subs, Ins, Dels int
+}
+
+// RefLen returns the reference length implied by the alignment.
+func (c Counts) RefLen() int { return c.Hits + c.Subs + c.Dels }
+
+// Accuracy returns (hits − insertions)/refLen, the standard phone accuracy
+// (can be negative for pathological hypotheses); PER = 1 − Accuracy.
+func (c Counts) Accuracy() float64 {
+	n := c.RefLen()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Hits-c.Ins) / float64(n)
+}
+
+// ErrorRate returns (subs + ins + dels)/refLen.
+func (c Counts) ErrorRate() float64 {
+	n := c.RefLen()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Subs+c.Ins+c.Dels) / float64(n)
+}
+
+// Alignment edit operations recorded during the DP pass.
+const (
+	opHit int8 = iota
+	opSub
+	opDel // reference phone unmatched
+	opIns // hypothesis phone spurious
+)
+
+// Align computes the minimal-edit alignment between ref and hyp with unit
+// substitution, insertion and deletion costs.
+func Align(ref, hyp []int) Counts {
+	n, m := len(ref), len(hyp)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	ops := make([][]int8, n+1)
+	for i := range ops {
+		ops[i] = make([]int8, m+1)
+	}
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+		ops[0][j] = opIns
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		ops[i][0] = opDel
+		for j := 1; j <= m; j++ {
+			diag := prev[j-1]
+			diagOp := opHit
+			if ref[i-1] != hyp[j-1] {
+				diag++
+				diagOp = opSub
+			}
+			best, op := diag, diagOp
+			if up := prev[j] + 1; up < best {
+				best, op = up, opDel
+			}
+			if left := cur[j-1] + 1; left < best {
+				best, op = left, opIns
+			}
+			cur[j] = best
+			ops[i][j] = op
+		}
+		prev, cur = cur, prev
+	}
+	var c Counts
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch ops[i][j] {
+		case opHit:
+			c.Hits++
+			i--
+			j--
+		case opSub:
+			c.Subs++
+			i--
+			j--
+		case opDel:
+			c.Dels++
+			i--
+		default:
+			c.Ins++
+			j--
+		}
+	}
+	return c
+}

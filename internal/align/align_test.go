@@ -1,0 +1,86 @@
+package align
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestIdenticalSequences(t *testing.T) {
+	c := Align([]int{1, 2, 3}, []int{1, 2, 3})
+	if c.Hits != 3 || c.Subs != 0 || c.Ins != 0 || c.Dels != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.Accuracy() != 1 || c.ErrorRate() != 0 {
+		t.Fatalf("acc=%v per=%v", c.Accuracy(), c.ErrorRate())
+	}
+}
+
+func TestSubstitution(t *testing.T) {
+	c := Align([]int{1, 2, 3}, []int{1, 9, 3})
+	if c.Hits != 2 || c.Subs != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestInsertionAndDeletion(t *testing.T) {
+	cIns := Align([]int{1, 2}, []int{1, 7, 2})
+	if cIns.Ins != 1 || cIns.Hits != 2 {
+		t.Fatalf("insertion counts = %+v", cIns)
+	}
+	cDel := Align([]int{1, 7, 2}, []int{1, 2})
+	if cDel.Dels != 1 || cDel.Hits != 2 {
+		t.Fatalf("deletion counts = %+v", cDel)
+	}
+}
+
+func TestEmptySequences(t *testing.T) {
+	c := Align(nil, []int{1, 2})
+	if c.Ins != 2 || c.RefLen() != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+	c2 := Align([]int{1, 2}, nil)
+	if c2.Dels != 2 {
+		t.Fatalf("counts = %+v", c2)
+	}
+	if Align(nil, nil).ErrorRate() != 0 {
+		t.Fatal("empty-vs-empty should be error-free")
+	}
+}
+
+func TestAlignmentConsistency(t *testing.T) {
+	// hits+subs+ins = len(hyp); hits+subs+dels = len(ref); total edits
+	// equal the Levenshtein distance (not directly checked, but bounded).
+	r := rng.New(1)
+	f := func(seed uint16) bool {
+		rr := r.Split(uint64(seed))
+		ref := make([]int, rr.Intn(20))
+		hyp := make([]int, rr.Intn(20))
+		for i := range ref {
+			ref[i] = rr.Intn(5)
+		}
+		for i := range hyp {
+			hyp[i] = rr.Intn(5)
+		}
+		c := Align(ref, hyp)
+		if c.Hits+c.Subs+c.Dels != len(ref) {
+			return false
+		}
+		if c.Hits+c.Subs+c.Ins != len(hyp) {
+			return false
+		}
+		return c.Hits >= 0 && c.Subs >= 0 && c.Ins >= 0 && c.Dels >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefersHitsOverSubPairs(t *testing.T) {
+	// ref=ABC hyp=AXBC: optimal keeps A,B,C as hits with one insertion.
+	c := Align([]int{1, 2, 3}, []int{1, 9, 2, 3})
+	if c.Hits != 3 || c.Ins != 1 || c.Subs != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}

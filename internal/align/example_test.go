@@ -1,0 +1,20 @@
+package align_test
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+)
+
+// ExampleAlign computes the phone error rate of a decoder hypothesis
+// against a reference transcription.
+func ExampleAlign() {
+	ref := []int{1, 2, 3, 4, 5}
+	hyp := []int{1, 9, 3, 5} // one substitution (2→9), one deletion (4)
+	c := align.Align(ref, hyp)
+	fmt.Printf("hits=%d subs=%d ins=%d dels=%d\n", c.Hits, c.Subs, c.Ins, c.Dels)
+	fmt.Printf("PER=%.0f%%\n", c.ErrorRate()*100)
+	// Output:
+	// hits=3 subs=1 ins=0 dels=1
+	// PER=40%
+}

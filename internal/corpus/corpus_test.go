@@ -1,0 +1,125 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/synthlang"
+)
+
+func TestBuildSizes(t *testing.T) {
+	cfg := TinyConfig()
+	c := Build(cfg)
+	k := synthlang.NumLanguages
+	if c.Train.Len() != cfg.TrainPerLang*k {
+		t.Fatalf("train size %d", c.Train.Len())
+	}
+	for _, dur := range Durations {
+		if c.Dev[dur].Len() != cfg.DevPerLang*k {
+			t.Fatalf("dev[%g] size %d", dur, c.Dev[dur].Len())
+		}
+	}
+	if got := c.AllDev().Len(); got != 3*cfg.DevPerLang*k {
+		t.Fatalf("pooled dev size %d", got)
+	}
+	for _, dur := range Durations {
+		if c.Test[dur].Len() != cfg.TestPerLang*k {
+			t.Fatalf("test[%g] size %d", dur, c.Test[dur].Len())
+		}
+	}
+	if got := c.AllTest().Len(); got != 3*cfg.TestPerLang*k {
+		t.Fatalf("pooled test size %d", got)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := Build(TinyConfig())
+	b := Build(TinyConfig())
+	for i := range a.Train.Items {
+		ua, ub := a.Train.Items[i].U, b.Train.Items[i].U
+		if len(ua.Segments) != len(ub.Segments) {
+			t.Fatal("corpus not deterministic")
+		}
+		for s := range ua.Segments {
+			if ua.Segments[s] != ub.Segments[s] {
+				t.Fatal("corpus segments not deterministic")
+			}
+		}
+	}
+}
+
+func TestLabelsBalanced(t *testing.T) {
+	c := Build(TinyConfig())
+	counts := make(map[int]int)
+	for _, l := range c.Train.Labels() {
+		counts[l]++
+	}
+	if len(counts) != synthlang.NumLanguages {
+		t.Fatalf("labels cover %d languages", len(counts))
+	}
+	for l, n := range counts {
+		if n != TinyConfig().TrainPerLang {
+			t.Fatalf("language %d has %d train items", l, n)
+		}
+	}
+}
+
+func TestChannelMismatch(t *testing.T) {
+	c := Build(TinyConfig())
+	trainCh := c.Train.ChannelCounts()
+	testCh := c.AllTest().ChannelCounts()
+	if trainCh[synthlang.ChannelVOA] != 0 {
+		t.Fatalf("training contains %d VOA items", trainCh[synthlang.ChannelVOA])
+	}
+	if testCh[synthlang.ChannelVOA] == 0 {
+		t.Fatal("test contains no VOA items — no mismatch to adapt to")
+	}
+	frac := float64(testCh[synthlang.ChannelVOA]) / float64(c.AllTest().Len())
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("VOA fraction %v far from configured 0.5", frac)
+	}
+}
+
+func TestDurationsTiersRealized(t *testing.T) {
+	c := Build(TinyConfig())
+	for _, dur := range Durations {
+		for _, it := range c.Test[dur].Items {
+			if it.U.NominalDurS != dur {
+				t.Fatalf("item in %g tier has nominal %g", dur, it.U.NominalDurS)
+			}
+			if it.U.TotalDurMs() < dur*1000 {
+				t.Fatalf("item shorter than nominal: %v < %v", it.U.TotalDurMs(), dur*1000)
+			}
+		}
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	c := Build(TinyConfig())
+	seen := map[int]bool{}
+	check := func(s *Split) {
+		for _, it := range s.Items {
+			if seen[it.ID] {
+				t.Fatalf("duplicate ID %d", it.ID)
+			}
+			seen[it.ID] = true
+		}
+	}
+	check(c.Train)
+	for _, dur := range Durations {
+		check(c.Dev[dur])
+		check(c.Test[dur])
+	}
+}
+
+func TestSpeakerPoolsDisjoint(t *testing.T) {
+	c := Build(TinyConfig())
+	trainSpk := map[int]bool{}
+	for _, it := range c.Train.Items {
+		trainSpk[it.U.Speaker.ID] = true
+	}
+	for _, it := range c.AllTest().Items {
+		if trainSpk[it.U.Speaker.ID] {
+			t.Fatalf("speaker %d appears in train and test", it.U.Speaker.ID)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package dba_test
+
+import (
+	"fmt"
+
+	"repro/internal/dba"
+)
+
+// ExampleVote demonstrates the paper's Eq. 13 criterion: a subsystem votes
+// only when exactly its top language scores positive and every other
+// language scores negative.
+func ExampleVote() {
+	fmt.Println(dba.Vote([]float64{1.2, -0.8, -0.3}))  // confident → language 0
+	fmt.Println(dba.Vote([]float64{1.2, 0.4, -0.3}))   // two positives → abstain
+	fmt.Println(dba.Vote([]float64{-0.2, -0.8, -0.3})) // none positive → abstain
+	// Output:
+	// 0
+	// -1
+	// -1
+}
+
+// ExampleSelect shows threshold-based T_DBA construction from vote tallies.
+func ExampleSelect() {
+	votes := [][]int{
+		{5, 0, 1}, // utterance 0: 5 votes for language 0
+		{0, 2, 0}, // utterance 1: only 2 votes
+		{3, 3, 0}, // utterance 2: tie → skipped
+	}
+	for _, h := range dba.Select(votes, 3) {
+		fmt.Printf("utterance %d labeled %d with %d votes\n", h.Utt, h.Label, h.Votes)
+	}
+	// Output:
+	// utterance 0 labeled 0 with 5 votes
+}

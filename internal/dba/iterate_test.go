@@ -1,0 +1,114 @@
+package dba
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/svm"
+)
+
+func TestRunIterativeOneRoundMatchesRun(t *testing.T) {
+	r := rng.New(1)
+	data, trainLabels, _ := synthData(r, 15, 12, 3)
+	opt := svm.DefaultOptions()
+	baseline := TrainBaseline(data, trainLabels, 3, opt)
+	baseScores := ScoreAll(baseline, data)
+	cfg := Config{Threshold: 1, Method: M2, NumLangs: 3, SVMOptions: opt}
+
+	single := Run(data, trainLabels, baseline, baseScores, cfg)
+	iter := RunIterative(data, trainLabels, baseline, baseScores,
+		IterativeConfig{Config: cfg, Rounds: 1}, nil)
+
+	if len(iter.Rounds) != 1 {
+		t.Fatalf("%d rounds", len(iter.Rounds))
+	}
+	if len(iter.Rounds[0].Selected) != len(single.Selected) {
+		t.Fatalf("round-1 selection %d != single-pass %d",
+			len(iter.Rounds[0].Selected), len(single.Selected))
+	}
+	for i, h := range iter.Rounds[0].Selected {
+		if h != single.Selected[i] {
+			t.Fatal("round-1 selection differs from single pass")
+		}
+	}
+}
+
+func TestRunIterativeMultipleRounds(t *testing.T) {
+	r := rng.New(2)
+	data, trainLabels, testLabels := synthData(r, 20, 15, 3)
+	opt := svm.DefaultOptions()
+	baseline := TrainBaseline(data, trainLabels, 3, opt)
+	baseScores := ScoreAll(baseline, data)
+	cfg := IterativeConfig{
+		Config: Config{Threshold: 1, Method: M2, NumLangs: 3, SVMOptions: opt},
+		Rounds: 3,
+	}
+	out := RunIterative(data, trainLabels, baseline, baseScores, cfg, nil)
+	if len(out.Rounds) != 3 {
+		t.Fatalf("%d rounds", len(out.Rounds))
+	}
+	// Selection error should not explode across rounds on separable data.
+	for _, rr := range out.Rounds {
+		if err := SelectionErrorRate(rr.Selected, testLabels); err > 0.3 {
+			t.Fatalf("round %d selection error %v", rr.Round, err)
+		}
+	}
+	if out.Models == nil {
+		t.Fatal("no final models")
+	}
+}
+
+func TestRunIterativeStopsOnStableSelection(t *testing.T) {
+	r := rng.New(3)
+	data, trainLabels, _ := synthData(r, 20, 15, 3)
+	opt := svm.DefaultOptions()
+	baseline := TrainBaseline(data, trainLabels, 3, opt)
+	baseScores := ScoreAll(baseline, data)
+	cfg := IterativeConfig{
+		Config:       Config{Threshold: 1, Method: M2, NumLangs: 3, SVMOptions: opt},
+		Rounds:       8,
+		StopOnStable: true,
+	}
+	out := RunIterative(data, trainLabels, baseline, baseScores, cfg, nil)
+	if len(out.Rounds) == 8 && !out.Stable {
+		t.Log("selection never stabilized within 8 rounds (acceptable but unusual)")
+	}
+	if out.Stable && len(out.Rounds) < 2 {
+		t.Fatal("stability can only be declared from round 2 on")
+	}
+}
+
+func TestRunIterativeRecalibrateHookUsed(t *testing.T) {
+	r := rng.New(4)
+	data, trainLabels, _ := synthData(r, 15, 12, 3)
+	opt := svm.DefaultOptions()
+	baseline := TrainBaseline(data, trainLabels, 3, opt)
+	baseScores := ScoreAll(baseline, data)
+	calls := 0
+	hook := func(models []*svm.OneVsRest, scores [][][]float64) [][][]float64 {
+		calls++
+		return scores
+	}
+	RunIterative(data, trainLabels, baseline, baseScores, IterativeConfig{
+		Config: Config{Threshold: 1, Method: M2, NumLangs: 3, SVMOptions: opt},
+		Rounds: 3,
+	}, hook)
+	if calls != 2 { // rounds 1→2 and 2→3
+		t.Fatalf("recalibrate called %d times, want 2", calls)
+	}
+}
+
+func TestSameSelection(t *testing.T) {
+	a := []Hypothesis{{Utt: 1, Label: 2}, {Utt: 3, Label: 0}}
+	b := []Hypothesis{{Utt: 3, Label: 0}, {Utt: 1, Label: 2}} // order-free
+	if !sameSelection(a, b) {
+		t.Fatal("order should not matter")
+	}
+	c := []Hypothesis{{Utt: 1, Label: 1}, {Utt: 3, Label: 0}}
+	if sameSelection(a, c) {
+		t.Fatal("label change not detected")
+	}
+	if sameSelection(a, a[:1]) {
+		t.Fatal("length change not detected")
+	}
+}

@@ -1,0 +1,329 @@
+// Package experiments is the harness that regenerates every table and
+// figure of the paper's evaluation (Section 5) on the synthetic LRE09
+// substitute corpus: Table 1 (T_DBA composition vs V), Tables 2–3 (DBA-M1
+// and DBA-M2 EER/Cavg sweeps per front-end and duration), Table 4
+// (baseline vs DBA with LDA-MMI fusion), Table 5 (real-time factors), and
+// Fig. 3 (DET curves). See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/dba"
+	"repro/internal/frontend"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/svm"
+	"repro/internal/synthlang"
+	"repro/internal/vsm"
+)
+
+// Scale selects corpus sizes; every scale runs the identical code path.
+type Scale int
+
+// Scales: Tiny is for unit tests (seconds), Small for CI-style runs,
+// Medium for the command-line driver, Full for paper-proportioned runs.
+const (
+	ScaleTiny Scale = iota
+	ScaleSmall
+	ScaleMedium
+	ScaleFull
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScaleFull:
+		return "full"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// ParseScale converts a flag string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "full":
+		return ScaleFull, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown scale %q", s)
+}
+
+// CorpusConfig returns the corpus sizing for a scale.
+func CorpusConfig(s Scale, seed uint64) corpus.Config {
+	cfg := corpus.DefaultConfig()
+	cfg.Seed = seed
+	switch s {
+	case ScaleTiny:
+		cfg.TrainPerLang = 8
+		cfg.DevPerLang = 4
+		cfg.TestPerLang = 4
+	case ScaleSmall:
+		cfg.TrainPerLang = 20
+		cfg.DevPerLang = 8
+		cfg.TestPerLang = 8
+	case ScaleMedium:
+		cfg.TrainPerLang = 40
+		cfg.DevPerLang = 12
+		cfg.TestPerLang = 20
+	case ScaleFull:
+		cfg.TrainPerLang = 90
+		cfg.DevPerLang = 20
+		cfg.TestPerLang = 30
+	}
+	return cfg
+}
+
+// Pipeline holds the shared state of an experiment run: corpus, cached
+// per-front-end supervectors, baseline models, and memoized DBA outcomes.
+// Decoding happens exactly once (the paper's cost argument), and every
+// table draws on the same pipeline.
+type Pipeline struct {
+	Scale Scale
+	Seed  uint64
+
+	Corpus *corpus.Corpus
+	FEs    []*frontend.FrontEnd
+	Feats  []*vsm.Features
+
+	// Data[q] carries train (train split) and test (pooled 30/10/3 s)
+	// supervectors for DBA.
+	Data        []*dba.SubsystemData
+	TrainLabels []int
+	DevLabels   []int // pooled dev (30, 10, 3 s order)
+	TestLabels  []int
+	// TestIdx/DevIdx[dur] are pooled indices belonging to a duration tier.
+	TestIdx map[float64][]int
+	DevIdx  map[float64][]int
+
+	Baseline       []*svm.OneVsRest
+	BaselineScores [][][]float64 // [q][j][k] over pooled test (raw, for eval)
+	VoteScores     [][][]float64 // calibrated copy driving Eq. 13 voting
+	BaselineDev    [][][]float64 // [q][i][k] over dev
+
+	SVMOptions svm.Options
+
+	mu       sync.Mutex
+	outcomes map[outcomeKey]*dba.Outcome
+}
+
+type outcomeKey struct {
+	v      int
+	method dba.Method
+}
+
+// NumLangs is the closed-set size of every pipeline.
+const NumLangs = synthlang.NumLanguages
+
+// BuildPipeline generates the corpus, extracts supervectors for all six
+// front-ends, and trains the baseline subsystems.
+func BuildPipeline(scale Scale, seed uint64) *Pipeline {
+	p := &Pipeline{
+		Scale:      scale,
+		Seed:       seed,
+		SVMOptions: vsm.DefaultSVMOptions(),
+		outcomes:   make(map[outcomeKey]*dba.Outcome),
+		TestIdx:    make(map[float64][]int),
+		DevIdx:     make(map[float64][]int),
+	}
+	p.SVMOptions.Seed = seed
+	p.Corpus = corpus.Build(CorpusConfig(scale, seed))
+	p.FEs = frontend.StandardSix(seed)
+
+	p.Feats = make([]*vsm.Features, len(p.FEs))
+	parallel.For(len(p.FEs), func(q int) {
+		p.Feats[q] = vsm.Extract(p.FEs[q], p.Corpus, vsm.ExtractOptions{Seed: seed})
+	})
+
+	pooled := p.Corpus.AllTest()
+	p.TrainLabels = p.Corpus.Train.Labels()
+	p.DevLabels = p.Corpus.AllDev().Labels()
+	p.TestLabels = pooled.Labels()
+	// Duration tiers index into the pooled order (30, 10, 3).
+	testOff, devOff := 0, 0
+	for _, dur := range corpus.Durations {
+		n := p.Corpus.Test[dur].Len()
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = testOff + i
+		}
+		p.TestIdx[dur] = idx
+		testOff += n
+
+		dn := p.Corpus.Dev[dur].Len()
+		didx := make([]int, dn)
+		for i := range didx {
+			didx[i] = devOff + i
+		}
+		p.DevIdx[dur] = didx
+		devOff += dn
+	}
+
+	p.Data = make([]*dba.SubsystemData, len(p.FEs))
+	for q, f := range p.Feats {
+		p.Data[q] = &dba.SubsystemData{
+			Name:  p.FEs[q].Name,
+			Dim:   f.Dim(),
+			Train: f.Vectors(p.Corpus.Train),
+			Test:  f.Vectors(pooled),
+		}
+	}
+
+	p.Baseline = dba.TrainBaseline(p.Data, p.TrainLabels, NumLangs, p.SVMOptions)
+	p.BaselineScores = dba.ScoreAll(p.Baseline, p.Data)
+	p.BaselineDev = p.DevScores(p.Baseline)
+
+	// Vote calibration: the Eq. 13 criterion (target > 0, all others < 0)
+	// needs each language model's zero to sit at a sensible detection
+	// operating point, which raw one-vs-rest SVM scores do not guarantee
+	// (the 1-vs-22 imbalance biases them negative, and score ranges shrink
+	// with utterance duration). The paper calibrates single-system scores
+	// (Section 4.1, LDA-MMI); we use the scalar equivalent: per-model,
+	// per-duration thresholds placed at a low dev false-alarm rate, shrunk
+	// toward the subsystem-pooled threshold when the dev set is small. The
+	// calibrated copy drives voting only — EER/Cavg are computed from the
+	// unshifted scores, keeping evaluation and selection concerns separate.
+	p.VoteScores = p.calibratedVoteScores()
+	return p
+}
+
+// VoteCalibrationFA is the dev false-alarm rate at which vote thresholds
+// are placed. Lower values make votes rarer but cleaner; 3 % reproduces
+// the paper's Table 1 selection/error trade-off.
+const VoteCalibrationFA = 0.03
+
+// calibratedVoteScores returns a copy of the baseline test scores with
+// per-(subsystem, duration, model) dev thresholds subtracted.
+func (p *Pipeline) calibratedVoteScores() [][][]float64 {
+	out := make([][][]float64, len(p.BaselineScores))
+	for q, mat := range p.BaselineScores {
+		out[q] = make([][]float64, len(mat))
+		for _, dur := range corpus.Durations {
+			shifts := voteShiftsForTier(p.BaselineDev[q], p.DevLabels, p.DevIdx[dur], VoteCalibrationFA)
+			for _, j := range p.TestIdx[dur] {
+				row := mat[j]
+				nr := make([]float64, len(row))
+				for k, v := range row {
+					nr[k] = v - shifts[k]
+				}
+				out[q][j] = nr
+			}
+		}
+	}
+	return out
+}
+
+// voteShiftsForTier computes per-model vote thresholds from one duration
+// tier of a subsystem's dev scores: the score at dev false-alarm rate fa,
+// shrunk toward the tier-pooled threshold in proportion to the per-model
+// target count.
+func voteShiftsForTier(devMat [][]float64, devLabels []int, tierIdx []int, fa float64) []float64 {
+	if len(tierIdx) == 0 || len(devMat) == 0 {
+		return nil
+	}
+	k := len(devMat[0])
+	shifts := make([]float64, k)
+	var pooled []metrics.Trial
+	for _, i := range tierIdx {
+		for model, s := range devMat[i] {
+			pooled = append(pooled, metrics.Trial{Score: s, Target: devLabels[i] == model})
+		}
+	}
+	pooledTh := metrics.ThresholdAtFA(pooled, fa)
+	for model := 0; model < k; model++ {
+		trials := make([]metrics.Trial, 0, len(tierIdx))
+		nTar := 0
+		for _, i := range tierIdx {
+			target := devLabels[i] == model
+			if target {
+				nTar++
+			}
+			trials = append(trials, metrics.Trial{Score: devMat[i][model], Target: target})
+		}
+		th := metrics.ThresholdAtFA(trials, fa)
+		// Shrinkage: few dev targets → trust the pooled threshold.
+		w := float64(nTar) / (float64(nTar) + 8)
+		shifts[model] = pooledTh + w*(th-pooledTh)
+	}
+	return shifts
+}
+
+// DBAOutcome runs (or returns the memoized) DBA pass for a threshold and
+// method.
+func (p *Pipeline) DBAOutcome(v int, method dba.Method) *dba.Outcome {
+	key := outcomeKey{v: v, method: method}
+	p.mu.Lock()
+	if o, ok := p.outcomes[key]; ok {
+		p.mu.Unlock()
+		return o
+	}
+	p.mu.Unlock()
+	o := dba.Run(p.Data, p.TrainLabels, p.Baseline, p.VoteScores, dba.Config{
+		Threshold:  v,
+		Method:     method,
+		NumLangs:   NumLangs,
+		SVMOptions: p.SVMOptions,
+	})
+	if len(o.Selected) == 0 {
+		// Degenerate fallback: evaluation should see the raw baseline
+		// scores, not the vote-calibrated copy dba.Run echoes back.
+		o.Scores = p.BaselineScores
+	}
+	p.mu.Lock()
+	p.outcomes[key] = o
+	p.mu.Unlock()
+	return o
+}
+
+// DevScores scores the dev split with a set of per-subsystem models (for
+// fusion backend training on second-pass systems).
+func (p *Pipeline) DevScores(models []*svm.OneVsRest) [][][]float64 {
+	out := make([][][]float64, len(models))
+	for q, mdl := range models {
+		devVecs := p.Feats[q].Vectors(p.Corpus.AllDev())
+		m := mdl
+		out[q] = parallel.Map(len(devVecs), func(i int) []float64 {
+			return m.Scores(devVecs[i])
+		})
+	}
+	return out
+}
+
+// Eval computes EER and minimum Cavg (both in percent) of one subsystem's
+// pooled score matrix restricted to the given test indices.
+func Eval(scoreMat [][]float64, labels []int, idx []int) (eerPct, cavgPct float64) {
+	var pairs []metrics.PairTrial
+	for _, j := range idx {
+		for k, s := range scoreMat[j] {
+			pairs = append(pairs, metrics.PairTrial{Model: k, True: labels[j], Score: s})
+		}
+	}
+	eer := metrics.EER(metrics.PairTrialsToDetection(pairs))
+	cavg, _ := metrics.MinCavg(pairs, NumLangs)
+	return eer * 100, cavg * 100
+}
+
+// TrialsFor builds the pooled detection trials of a score matrix subset
+// (for DET curves).
+func TrialsFor(scoreMat [][]float64, labels []int, idx []int) []metrics.Trial {
+	var pairs []metrics.PairTrial
+	for _, j := range idx {
+		for k, s := range scoreMat[j] {
+			pairs = append(pairs, metrics.PairTrial{Model: k, True: labels[j], Score: s})
+		}
+	}
+	return metrics.PairTrialsToDetection(pairs)
+}

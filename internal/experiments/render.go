@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+)
+
+// String renders Table 1 in the paper's layout.
+func (t *Table1) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: T_DBA composition vs threshold V (DBA selection)\n")
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  V=%d    ", r.V)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-12s", "number")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-6d ", r.Size)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-12s", "error rate")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %5.2f%% ", r.ErrorRatePct)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-12s", "30s/10s/3s")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %d/%d/%d", r.ByDuration[30], r.ByDuration[10], r.ByDuration[3])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// String renders Tables 2/3 in the paper's layout: per front-end ×
+// duration rows of EER and Cavg, columns baseline then V = 6…1.
+func (t *TableDBA) String() string {
+	var b strings.Builder
+	tableNo := 2
+	if t.Method.String() == "DBA-M2" {
+		tableNo = 3
+	}
+	fmt.Fprintf(&b, "Table %d: Performance of %s per front-end (EER and Cavg in %%)\n", tableNo, t.Method)
+	fmt.Fprintf(&b, "%-8s %-4s %-5s %9s", "Frontend", "Dur", "Metric", "Baseline")
+	for v := 6; v >= 1; v-- {
+		fmt.Fprintf(&b, "  V=%d   ", v)
+	}
+	b.WriteString("\n")
+	for _, fe := range t.FrontEnds {
+		for _, dur := range t.Durations {
+			base := t.Baseline[fe][dur]
+			fmt.Fprintf(&b, "%-8s %3.0fs %-5s %9.2f", fe, dur, "EER", base.EER)
+			for v := 6; v >= 1; v-- {
+				fmt.Fprintf(&b, " %6.2f", t.ByV[v][fe][dur].EER)
+			}
+			b.WriteString("\n")
+			fmt.Fprintf(&b, "%-8s %3.0fs %-5s %9.2f", "", dur, "Cavg", base.Cavg)
+			for v := 6; v >= 1; v-- {
+				fmt.Fprintf(&b, " %6.2f", t.ByV[v][fe][dur].Cavg)
+			}
+			b.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&b, "(best mean-EER threshold: V=%d)\n", t.BestV())
+	return b.String()
+}
+
+// String renders Table 4 in the paper's layout.
+func (t *Table4) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: PPRVSM vs DBA systems, (DBA-M1)+(DBA-M2), V=%d (EER/Cavg in %%)\n", t.V)
+	fmt.Fprintf(&b, "%-10s %-9s", "System", "Frontend")
+	for _, dur := range t.Durations {
+		fmt.Fprintf(&b, "  %8.0fs     ", dur)
+	}
+	b.WriteString("\n")
+	row := func(system, fe string, cells map[float64]Cell) {
+		fmt.Fprintf(&b, "%-10s %-9s", system, fe)
+		for _, dur := range t.Durations {
+			c := cells[dur]
+			fmt.Fprintf(&b, "  %6.2f/%-6.2f", c.EER, c.Cavg)
+		}
+		b.WriteString("\n")
+	}
+	for _, fe := range t.FrontEnds {
+		row("Baseline", fe, t.BaselineSingle[fe])
+	}
+	row("Baseline", "fusion", t.BaselineFusion)
+	for _, fe := range t.FrontEnds {
+		row("DBA", fe, t.DBASingle[fe])
+	}
+	row("DBA", "fusion", t.DBAFusion)
+	return b.String()
+}
+
+// String renders Fig. 3 as probit-scaled DET curve points suitable for
+// plotting (one block per duration and system).
+func (f *Fig3) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3: DET curves, baseline fusion vs (DBA-M1)+(DBA-M2) fusion, V=%d\n", f.V)
+	fmt.Fprintf(&b, "(columns: Pfa%%  Pmiss%%  probit(Pfa)  probit(Pmiss); decimated to ≤25 points)\n")
+	durs := make([]float64, 0, len(f.Curves))
+	for d := range f.Curves {
+		durs = append(durs, d)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(durs)))
+	for _, dur := range durs {
+		c := f.Curves[dur]
+		writeCurve := func(name string, pts []metrics.DETPoint) {
+			fmt.Fprintf(&b, "# %s %gs (EER region)\n", name, dur)
+			step := len(pts)/25 + 1
+			for i := 0; i < len(pts); i += step {
+				pt := pts[i]
+				if pt.Pfa <= 0 || pt.Pfa >= 1 || pt.Pmiss <= 0 || pt.Pmiss >= 1 {
+					continue
+				}
+				fmt.Fprintf(&b, "%7.3f %7.3f %8.3f %8.3f\n",
+					pt.Pfa*100, pt.Pmiss*100, metrics.Probit(pt.Pfa), metrics.Probit(pt.Pmiss))
+			}
+		}
+		writeCurve("baseline-fusion", c.Baseline)
+		writeCurve("dba-fusion", c.DBA)
+	}
+	return b.String()
+}
+
+// String renders the vote-criterion ablation.
+func (a *VoteAblation) String() string {
+	return fmt.Sprintf(
+		"Vote-criterion ablation (V=%d):\n"+
+			"  strict Eq.13 (target>0, others<0): |T_DBA|=%d, label error %.2f%%\n"+
+			"  naive arg-max:                     |T_DBA|=%d, label error %.2f%%\n",
+		a.V, a.StrictSize, a.StrictErrorPct, a.NaiveSize, a.NaiveErrorPct)
+}
+
+// Summary reports the headline relative EER gains of the fused DBA system
+// over the fused baseline (the paper's 1.8 %, 11.72 %, 15.35 % claim).
+func (t *Table4) Summary() string {
+	var b strings.Builder
+	b.WriteString("Headline (fused DBA vs fused baseline, relative EER reduction):\n")
+	for _, dur := range corpus.Durations {
+		base := t.BaselineFusion[dur].EER
+		dbaE := t.DBAFusion[dur].EER
+		rel := 0.0
+		if base > 0 {
+			rel = (base - dbaE) / base * 100
+		}
+		fmt.Fprintf(&b, "  %2.0fs: %.2f%% -> %.2f%%  (%.1f%% relative)\n", dur, base, dbaE, rel)
+	}
+	return b.String()
+}

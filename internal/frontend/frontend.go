@@ -1,0 +1,309 @@
+// Package frontend implements the paper's six parallel phone recognizers:
+//
+//	ANN-HMM  Hungarian (59 phones), Russian (50), Czech (43)   [BUT TRAPs]
+//	DNN-HMM  English (47)                                      [Tsinghua]
+//	GMM-HMM  English (47), Mandarin (64)                       [Tsinghua]
+//
+// Each front-end decodes an utterance into a phone lattice over its own
+// inventory. Two decoder implementations share this contract:
+//
+//   - The simulated decoder used by the large experiment sweeps: it maps
+//     the utterance's universal phones onto the front-end inventory and
+//     applies a model-family- and channel-dependent error process
+//     (substitutions biased toward in-class confusions, insertions,
+//     deletions), emitting a confusion-network lattice with posteriors.
+//     Channel-dependent degradation is the train/test mismatch that DBA
+//     exploits: VOA broadcast test audio decodes worse than the CTS data
+//     the recognizers were "trained" on, exactly as in LRE09.
+//
+//   - The acoustic decoder (acoustic.go) runs the full path — waveform
+//     synthesis, MFCC/PLP extraction, GMM-HMM or MLP-HMM decoding,
+//     confusion generation — and is used by integration tests, the
+//     acousticpath example, and the Table 5 real-time-factor benches.
+package frontend
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/ngram"
+	"repro/internal/phones"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+	"repro/internal/synthlang"
+)
+
+// Kind is the acoustic model family of a front-end.
+type Kind int
+
+// Acoustic model families, ordered roughly by recognition quality in the
+// paper's era: GMM < ANN < DNN.
+const (
+	GMMHMM Kind = iota
+	ANNHMM
+	DNNHMM
+)
+
+func (k Kind) String() string {
+	switch k {
+	case GMMHMM:
+		return "GMM-HMM"
+	case ANNHMM:
+		return "ANN-HMM"
+	case DNNHMM:
+		return "DNN-HMM"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// FrontEnd is one simulated phone recognizer.
+type FrontEnd struct {
+	Name string
+	Kind Kind
+	Set  *phones.Set
+	// Space indexes this front-end's N-gram supervectors.
+	Space *ngram.Space
+
+	// BaseAccuracy is the top-1 phone accuracy on matched (CTS-clean)
+	// audio.
+	BaseAccuracy float64
+	// ChannelPenalty[ch] is subtracted from the accuracy for utterances
+	// recorded in that condition.
+	ChannelPenalty map[synthlang.Channel]float64
+	// InsertionRate and DeletionRate are per-segment probabilities.
+	InsertionRate, DeletionRate float64
+	// TopK is the lattice depth (alternatives per slot).
+	TopK int
+
+	// confusion[ch][p] lists in-class confusion candidates for front-end
+	// phone p with seeded weights. The weights depend on the recording
+	// condition: a broadcast channel does not merely decode worse, it
+	// confuses *differently* (different spectral tilt shifts which phones
+	// collide), which is what makes train/test mismatch a distribution
+	// shift rather than plain noise — the effect DBA adapts to.
+	confusion [synthlang.NumChannels][][]confusand
+	seed      uint64
+}
+
+type confusand struct {
+	phone  int
+	weight float64
+}
+
+// NgramOrder is the supervector order used throughout the reproduction
+// (unigram + bigram; the paper's systems typically use up to trigram, but
+// bigram keeps the 23-language sweeps tractable while preserving every
+// qualitative result — see DESIGN.md).
+const NgramOrder = 2
+
+// New builds a simulated front-end. The seed individualizes its phone-set
+// partition and confusion structure: two front-ends with different seeds
+// make different errors, which is the complementarity the paper's parallel
+// architecture (and DBA's voting) relies on.
+func New(name string, kind Kind, inventorySize int, seed uint64) *FrontEnd {
+	return NewWithOrder(name, kind, inventorySize, seed, NgramOrder)
+}
+
+// NewWithOrder is New with an explicit supervector N-gram order (the
+// paper's systems go up to trigram; the trigram-vs-bigram ablation bench
+// uses this).
+func NewWithOrder(name string, kind Kind, inventorySize int, seed uint64, order int) *FrontEnd {
+	set := phones.NewSet(name, inventorySize, seed)
+	f := &FrontEnd{
+		Name:  name,
+		Kind:  kind,
+		Set:   set,
+		Space: ngram.NewSpace(set.Size, order),
+		ChannelPenalty: map[synthlang.Channel]float64{
+			synthlang.ChannelCTSClean: 0,
+			synthlang.ChannelCTSNoisy: 0.04,
+			synthlang.ChannelVOA:      0.13,
+		},
+		InsertionRate: 0.02,
+		DeletionRate:  0.03,
+		TopK:          4,
+		seed:          seed,
+	}
+	switch kind {
+	case DNNHMM:
+		f.BaseAccuracy = 0.86
+	case ANNHMM:
+		f.BaseAccuracy = 0.81
+	case GMMHMM:
+		f.BaseAccuracy = 0.77
+	}
+	f.buildConfusion()
+	return f
+}
+
+// StandardSix returns the paper's front-end battery.
+func StandardSix(seed uint64) []*FrontEnd {
+	return []*FrontEnd{
+		New("HU", ANNHMM, 59, seed+101),
+		New("RU", ANNHMM, 50, seed+202),
+		New("CZ", ANNHMM, 43, seed+303),
+		New("EN-DNN", DNNHMM, 47, seed+404),
+		New("MA", GMMHMM, 64, seed+505),
+		New("EN-GMM", GMMHMM, 47, seed+606),
+	}
+}
+
+// channelConfusionBlend is how far each channel's confusion weights drift
+// from the clean-channel structure (0 = identical, 1 = independent).
+var channelConfusionBlend = [synthlang.NumChannels]float64{
+	synthlang.ChannelCTSClean: 0,
+	synthlang.ChannelCTSNoisy: 0.25,
+	synthlang.ChannelVOA:      0.8,
+}
+
+// buildConfusion derives per-channel, per-phone confusion candidates:
+// same-class phones with weights drawn from seeded Dirichlets, so each
+// front-end confuses differently, and each recording condition perturbs
+// the confusion structure away from the clean one.
+func (f *FrontEnd) buildConfusion() {
+	n := f.Set.Size
+	candsFor := func(p int) []int {
+		var cands []int
+		for q := 0; q < n; q++ {
+			if q != p && f.Set.ClassOf[q] == f.Set.ClassOf[p] {
+				cands = append(cands, q)
+			}
+		}
+		if len(cands) == 0 {
+			for q := 0; q < n; q++ {
+				if q != p {
+					cands = append(cands, q)
+				}
+			}
+		}
+		return cands
+	}
+	for ch := synthlang.Channel(0); ch < synthlang.NumChannels; ch++ {
+		rBase := rng.New(f.seed ^ 0xc0f5)
+		rCh := rng.New(f.seed ^ 0xc0f5 ^ (0x9e37 * uint64(ch+1)))
+		blend := channelConfusionBlend[ch]
+		f.confusion[ch] = make([][]confusand, n)
+		for p := 0; p < n; p++ {
+			cands := candsFor(p)
+			base := make([]float64, len(cands))
+			rBase.Dirichlet(0.8, base)
+			chw := make([]float64, len(cands))
+			rCh.Dirichlet(0.8, chw)
+			list := make([]confusand, len(cands))
+			for i, q := range cands {
+				list[i] = confusand{
+					phone:  q,
+					weight: (1-blend)*base[i] + blend*chw[i],
+				}
+			}
+			f.confusion[ch][p] = list
+		}
+	}
+}
+
+// accuracy returns the top-1 accuracy for a channel condition.
+func (f *FrontEnd) accuracy(ch synthlang.Channel) float64 {
+	a := f.BaseAccuracy - f.ChannelPenalty[ch]
+	if a < 0.1 {
+		a = 0.1
+	}
+	return a
+}
+
+// drawConfusion samples a confusion for front-end phone p under a
+// recording condition.
+func (f *FrontEnd) drawConfusion(r *rng.RNG, p int, ch synthlang.Channel) int {
+	list := f.confusion[ch][p]
+	w := make([]float64, len(list))
+	for i, c := range list {
+		w[i] = c.weight
+	}
+	return list[r.Categorical(w)].phone
+}
+
+// Decode runs the simulated recognizer on an utterance, producing a
+// confusion-network phone lattice over the front-end's inventory. The
+// caller provides the randomness stream; deriving it from (corpus seed,
+// utterance id, front-end name) makes decoding deterministic and
+// cacheable.
+func (f *FrontEnd) Decode(r *rng.RNG, u *synthlang.Utterance) *lattice.Lattice {
+	acc := f.accuracy(u.Channel)
+	var slots []lattice.SausageSlot
+	emit := func(truePhone int) {
+		correct := r.Bernoulli(acc)
+		// Top-hypothesis posterior: decoders are better calibrated when
+		// right than when wrong.
+		var top float64
+		if correct {
+			top = clamp(r.NormMuSigma(0.78, 0.10), 0.40, 0.98)
+		} else {
+			top = clamp(r.NormMuSigma(0.55, 0.12), 0.30, 0.90)
+		}
+		topPhone := truePhone
+		if !correct {
+			topPhone = f.drawConfusion(r, truePhone, u.Channel)
+		}
+		slot := lattice.SausageSlot{{Phone: topPhone, Prob: top}}
+		// Remaining mass over confusion alternatives (and, when the top is
+		// wrong, the true phone competes among them).
+		rest := 1 - top
+		k := f.TopK - 1
+		if k > 0 {
+			w := make([]float64, k)
+			r.Dirichlet(1.0, w)
+			used := map[int]bool{topPhone: true}
+			for i := 0; i < k; i++ {
+				var alt int
+				if !correct && i == 0 {
+					alt = truePhone // true phone usually survives in the lattice
+				} else {
+					alt = f.drawConfusion(r, truePhone, u.Channel)
+				}
+				if used[alt] {
+					continue
+				}
+				used[alt] = true
+				slot = append(slot, struct {
+					Phone int
+					Prob  float64
+				}{Phone: alt, Prob: rest * w[i]})
+			}
+		}
+		slots = append(slots, slot)
+	}
+
+	for _, seg := range u.Segments {
+		fePhone := f.Set.Map(seg.Phone)
+		if r.Bernoulli(f.DeletionRate) {
+			continue
+		}
+		emit(fePhone)
+		if r.Bernoulli(f.InsertionRate) {
+			// Spurious segment: a confusion of the current phone.
+			emit(f.drawConfusion(r, fePhone, u.Channel))
+		}
+	}
+	if len(slots) == 0 {
+		// Degenerate ultra-short utterance: emit one slot so downstream
+		// code always has a lattice.
+		fePhone := f.Set.Map(u.Segments[0].Phone)
+		slots = append(slots, lattice.SausageSlot{{Phone: fePhone, Prob: 1}})
+	}
+	return lattice.FromSausage(slots)
+}
+
+// Supervector decodes and converts to the per-order-normalized phonotactic
+// supervector in one step.
+func (f *FrontEnd) Supervector(r *rng.RNG, u *synthlang.Utterance) *sparse.Vector {
+	return f.Space.Supervector(f.Decode(r, u))
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

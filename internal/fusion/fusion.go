@@ -1,0 +1,374 @@
+// Package fusion implements the paper's LDA-MMI score-fusion backend
+// (step g, Eq. 14–15): per-utterance subsystem score vectors are stacked
+// (optionally weighted per subsystem), projected by linear discriminant
+// analysis, and classified by a Gaussian backend whose means and priors
+// are refined by gradient ascent on the maximum-mutual-information
+// objective
+//
+//	F_MMI(λ) = Σ_i log [ p(x_i|λ_{g(i)})·P(g(i)) / Σ_j p(x_i|λ_j)·P(j) ],
+//
+// i.e. the sum of log class posteriors. ML initialization gives the
+// Gaussians; MMI sharpens the decision boundaries — exactly the
+// discriminative calibration the paper fuses its six (or twelve, for
+// (DBA-M1)+(DBA-M2)) subsystems with.
+package fusion
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// StackScores concatenates per-subsystem score rows into one feature
+// vector per utterance (Eq. 15). weights[q] scales subsystem q; pass nil
+// for uniform weights. scoreMats[q][j][k] → out[j][q*K+k].
+func StackScores(scoreMats [][][]float64, weights []float64) [][]float64 {
+	if len(scoreMats) == 0 {
+		return nil
+	}
+	q := len(scoreMats)
+	m := len(scoreMats[0])
+	k := 0
+	if m > 0 {
+		k = len(scoreMats[0][0])
+	}
+	if weights == nil {
+		weights = make([]float64, q)
+		for i := range weights {
+			weights[i] = 1 / float64(q)
+		}
+	}
+	if len(weights) != q {
+		panic("fusion: weights length mismatch")
+	}
+	out := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		row := make([]float64, q*k)
+		for s := 0; s < q; s++ {
+			if len(scoreMats[s]) != m {
+				panic("fusion: subsystems scored different test-set sizes")
+			}
+			for c, v := range scoreMats[s][j] {
+				row[s*k+c] = weights[s] * v
+			}
+		}
+		out[j] = row
+	}
+	return out
+}
+
+// SelectionWeights computes the paper's subsystem weights
+// w_n = M_n / Σ_m M_m, where M_n is how many test utterances met the
+// confidence criterion in subsystem n.
+func SelectionWeights(counts []int) []float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	w := make([]float64, len(counts))
+	if total == 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return w
+	}
+	for i, c := range counts {
+		w[i] = float64(c) / float64(total)
+	}
+	return w
+}
+
+// Backend is the trained LDA-MMI fusion model.
+type Backend struct {
+	// Projection is the d×D LDA matrix (rows are discriminant directions).
+	Projection *linalg.Matrix
+	// Means[k] is class k's Gaussian mean in the projected space.
+	Means [][]float64
+	// Prec is the shared diagonal precision (1/variance) vector.
+	Prec []float64
+	// LogPriors per class.
+	LogPriors []float64
+}
+
+// Config controls backend training.
+type Config struct {
+	// OutDim is the LDA output dimension; 0 means min(K−1, D).
+	OutDim int
+	// MMIIters is the number of gradient-ascent epochs (0 disables MMI,
+	// leaving the ML-initialized Gaussian backend — the LDA-only ablation).
+	MMIIters int
+	// LearnRate for the MMI updates.
+	LearnRate float64
+	// Ridge regularizes the within-class scatter before inversion.
+	Ridge float64
+}
+
+// DefaultConfig mirrors the paper's backend at our scale.
+func DefaultConfig() Config {
+	return Config{MMIIters: 30, LearnRate: 0.05, Ridge: 1e-3}
+}
+
+// Train fits the backend on development data: x[i] is a stacked score
+// vector, labels[i] its language.
+func Train(x [][]float64, labels []int, numClasses int, cfg Config) (*Backend, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("fusion: no training data")
+	}
+	if len(x) != len(labels) {
+		return nil, fmt.Errorf("fusion: %d vectors for %d labels", len(x), len(labels))
+	}
+	d := len(x[0])
+	outDim := cfg.OutDim
+	if outDim <= 0 || outDim > d {
+		outDim = numClasses - 1
+		if outDim > d {
+			outDim = d
+		}
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = 0.05
+	}
+	if cfg.Ridge <= 0 {
+		cfg.Ridge = 1e-3
+	}
+
+	// --- LDA ---
+	classMean := make([][]float64, numClasses)
+	classN := make([]float64, numClasses)
+	for k := range classMean {
+		classMean[k] = make([]float64, d)
+	}
+	globalMean := make([]float64, d)
+	for i, xi := range x {
+		k := labels[i]
+		classN[k]++
+		linalg.Axpy(1, xi, classMean[k])
+		linalg.Axpy(1, xi, globalMean)
+	}
+	linalg.ScaleVec(1/float64(len(x)), globalMean)
+	for k := range classMean {
+		if classN[k] > 0 {
+			linalg.ScaleVec(1/classN[k], classMean[k])
+		}
+	}
+	sw := linalg.NewMatrix(d, d)
+	sb := linalg.NewMatrix(d, d)
+	diff := make([]float64, d)
+	for i, xi := range x {
+		k := labels[i]
+		for j := range diff {
+			diff[j] = xi[j] - classMean[k][j]
+		}
+		linalg.Outer(sw, 1, diff, diff)
+	}
+	for k := range classMean {
+		if classN[k] == 0 {
+			continue
+		}
+		for j := range diff {
+			diff[j] = classMean[k][j] - globalMean[j]
+		}
+		linalg.Outer(sb, classN[k], diff, diff)
+	}
+	// Ridge: Sw + λ·tr(Sw)/d·I keeps Cholesky well-posed.
+	var tr float64
+	for j := 0; j < d; j++ {
+		tr += sw.At(j, j)
+	}
+	ridge := cfg.Ridge*tr/float64(d) + 1e-8
+	for j := 0; j < d; j++ {
+		sw.Add(j, j, ridge)
+	}
+	_, vecs, err := linalg.GenSymEig(sb, sw)
+	if err != nil {
+		return nil, fmt.Errorf("fusion: LDA eigenproblem: %w", err)
+	}
+	proj := linalg.NewMatrix(outDim, d)
+	for r := 0; r < outDim; r++ {
+		for c := 0; c < d; c++ {
+			proj.Set(r, c, vecs.At(c, r))
+		}
+	}
+
+	b := &Backend{Projection: proj}
+
+	// --- ML Gaussian initialization in the projected space ---
+	z := make([][]float64, len(x))
+	for i, xi := range x {
+		z[i] = linalg.MulVec(proj, xi)
+	}
+	b.Means = make([][]float64, numClasses)
+	for k := range b.Means {
+		b.Means[k] = make([]float64, outDim)
+	}
+	counts := make([]float64, numClasses)
+	for i, zi := range z {
+		k := labels[i]
+		counts[k]++
+		linalg.Axpy(1, zi, b.Means[k])
+	}
+	for k := range b.Means {
+		if counts[k] > 0 {
+			linalg.ScaleVec(1/counts[k], b.Means[k])
+		}
+	}
+	variance := make([]float64, outDim)
+	for i, zi := range z {
+		mk := b.Means[labels[i]]
+		for j := range variance {
+			dv := zi[j] - mk[j]
+			variance[j] += dv * dv
+		}
+	}
+	b.Prec = make([]float64, outDim)
+	for j := range variance {
+		v := variance[j] / float64(len(z))
+		if v < 1e-6 {
+			v = 1e-6
+		}
+		b.Prec[j] = 1 / v
+	}
+	b.LogPriors = make([]float64, numClasses)
+	for k := range b.LogPriors {
+		b.LogPriors[k] = math.Log((counts[k] + 1) / (float64(len(z)) + float64(numClasses)))
+	}
+
+	// --- MMI refinement (Eq. 14): gradient ascent on Σ log P(y|z) ---
+	// The mean updates use the natural-gradient (covariance-preconditioned)
+	// form μ_k += η·E[(1{y=k} − P(k|z))·(z − μ_k)], which removes the
+	// precision factor from the raw gradient; with sharp projected
+	// variances the plain gradient step diverges.
+	post := make([]float64, numClasses)
+	for it := 0; it < cfg.MMIIters; it++ {
+		gradMeans := make([][]float64, numClasses)
+		gradPrior := make([]float64, numClasses)
+		for k := range gradMeans {
+			gradMeans[k] = make([]float64, outDim)
+		}
+		for i, zi := range z {
+			b.posteriors(zi, post)
+			for k := 0; k < numClasses; k++ {
+				ind := 0.0
+				if labels[i] == k {
+					ind = 1
+				}
+				coef := ind - post[k]
+				gradPrior[k] += coef
+				gm := gradMeans[k]
+				mk := b.Means[k]
+				for j := 0; j < outDim; j++ {
+					gm[j] += coef * (zi[j] - mk[j])
+				}
+			}
+		}
+		scale := cfg.LearnRate / float64(len(z))
+		for k := 0; k < numClasses; k++ {
+			linalg.Axpy(scale, gradMeans[k], b.Means[k])
+			b.LogPriors[k] += scale * gradPrior[k]
+		}
+		// Renormalize priors.
+		b.normalizePriors()
+	}
+	return b, nil
+}
+
+func (b *Backend) normalizePriors() {
+	maxv := math.Inf(-1)
+	for _, lp := range b.LogPriors {
+		if lp > maxv {
+			maxv = lp
+		}
+	}
+	var sum float64
+	for _, lp := range b.LogPriors {
+		sum += math.Exp(lp - maxv)
+	}
+	logZ := maxv + math.Log(sum)
+	for k := range b.LogPriors {
+		b.LogPriors[k] -= logZ
+	}
+}
+
+// logLik returns the Gaussian log likelihood of projected point z under
+// class k (up to the shared constant, which cancels in posteriors).
+func (b *Backend) logLik(z []float64, k int) float64 {
+	var quad float64
+	mk := b.Means[k]
+	for j, v := range z {
+		dv := v - mk[j]
+		quad += dv * dv * b.Prec[j]
+	}
+	return -0.5 * quad
+}
+
+// posteriors fills post with P(k|z).
+func (b *Backend) posteriors(z []float64, post []float64) {
+	maxv := math.Inf(-1)
+	for k := range post {
+		post[k] = b.LogPriors[k] + b.logLik(z, k)
+		if post[k] > maxv {
+			maxv = post[k]
+		}
+	}
+	var sum float64
+	for k := range post {
+		post[k] = math.Exp(post[k] - maxv)
+		sum += post[k]
+	}
+	for k := range post {
+		post[k] /= sum
+	}
+}
+
+// Score returns per-class fused log-posterior scores for a stacked score
+// vector (higher = more likely). These are the final detection scores.
+func (b *Backend) Score(x []float64) []float64 {
+	z := linalg.MulVec(b.Projection, x)
+	out := make([]float64, len(b.Means))
+	post := make([]float64, len(b.Means))
+	b.posteriors(z, post)
+	for k := range out {
+		p := post[k]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		if p > 1-1e-12 {
+			p = 1 - 1e-12
+		}
+		// Log-odds detection score: positive when the class is more
+		// likely than not, matching the SVM sign convention downstream.
+		out[k] = math.Log(p / (1 - p))
+	}
+	return out
+}
+
+// ScoreAll scores a batch.
+func (b *Backend) ScoreAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, xi := range x {
+		out[i] = b.Score(xi)
+	}
+	return out
+}
+
+// Accuracy is a convenience diagnostic.
+func (b *Backend) Accuracy(x [][]float64, labels []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, xi := range x {
+		s := b.Score(xi)
+		best := 0
+		for k, v := range s {
+			if v > s[best] {
+				best = k
+			}
+		}
+		if best == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}

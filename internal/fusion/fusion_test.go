@@ -1,0 +1,169 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestStackScores(t *testing.T) {
+	mats := [][][]float64{
+		{{1, 2}, {3, 4}}, // subsystem 0: 2 utts × 2 langs
+		{{5, 6}, {7, 8}}, // subsystem 1
+	}
+	out := StackScores(mats, nil)
+	if len(out) != 2 || len(out[0]) != 4 {
+		t.Fatalf("shape %dx%d", len(out), len(out[0]))
+	}
+	// Uniform weights = 0.5 each.
+	want := []float64{0.5, 1, 2.5, 3}
+	for j, v := range want {
+		if math.Abs(out[0][j]-v) > 1e-12 {
+			t.Fatalf("out[0] = %v", out[0])
+		}
+	}
+	weighted := StackScores(mats, []float64{1, 0})
+	if weighted[0][2] != 0 || weighted[0][0] != 1 {
+		t.Fatalf("weighted = %v", weighted[0])
+	}
+}
+
+func TestSelectionWeights(t *testing.T) {
+	w := SelectionWeights([]int{30, 10})
+	if math.Abs(w[0]-0.75) > 1e-12 || math.Abs(w[1]-0.25) > 1e-12 {
+		t.Fatalf("weights = %v", w)
+	}
+	uniform := SelectionWeights([]int{0, 0, 0})
+	for _, v := range uniform {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("zero counts → %v", uniform)
+		}
+	}
+}
+
+// fusionData builds K-class score-like data: informative block per class
+// plus correlated noise, in D=K*Q dims mimicking stacked subsystem scores.
+func fusionData(r *rng.RNG, n, numClasses, numSubs int) (x [][]float64, labels []int) {
+	d := numClasses * numSubs
+	for i := 0; i < n; i++ {
+		k := i % numClasses
+		row := make([]float64, d)
+		for q := 0; q < numSubs; q++ {
+			for c := 0; c < numClasses; c++ {
+				v := -1.0 + 0.6*r.Norm()
+				if c == k {
+					v = 1.0 + 0.6*r.Norm()
+				}
+				row[q*numClasses+c] = v
+			}
+		}
+		x = append(x, row)
+		labels = append(labels, k)
+	}
+	return x, labels
+}
+
+func TestTrainAndScore(t *testing.T) {
+	r := rng.New(1)
+	x, labels := fusionData(r, 600, 5, 3)
+	b, err := Train(x, labels, 5, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testX, testLabels := fusionData(r, 300, 5, 3)
+	if acc := b.Accuracy(testX, testLabels); acc < 0.9 {
+		t.Fatalf("fusion accuracy %v", acc)
+	}
+}
+
+func TestScoreSignConvention(t *testing.T) {
+	r := rng.New(2)
+	x, labels := fusionData(r, 400, 4, 2)
+	b, err := Train(x, labels, 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A clean class-0 vector should have positive score for class 0 and
+	// negative for the others (log-odds convention).
+	probe, _ := fusionData(rng.New(3), 4, 4, 2)
+	s := b.Score(probe[0]) // class 0 by construction
+	if s[0] <= 0 {
+		t.Fatalf("target log-odds %v not positive", s[0])
+	}
+	for k := 1; k < 4; k++ {
+		if s[k] >= s[0] {
+			t.Fatalf("non-target %d scored %v >= target %v", k, s[k], s[0])
+		}
+	}
+}
+
+func TestMMIImprovesOverLDAOnly(t *testing.T) {
+	// Overlapping classes with unequal spreads: MMI refinement should not
+	// hurt and usually helps posterior-based accuracy.
+	r := rng.New(4)
+	x, labels := fusionData(r, 800, 6, 2)
+	// Make it harder: add bias to one class's scores.
+	for i := range x {
+		if labels[i] == 2 {
+			for j := range x[i] {
+				x[i][j] += 0.8
+			}
+		}
+	}
+	cfgNoMMI := DefaultConfig()
+	cfgNoMMI.MMIIters = 0
+	cfgMMI := DefaultConfig()
+	cfgMMI.MMIIters = 60
+	bNo, err := Train(x, labels, 6, cfgNoMMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bYes, err := Train(x, labels, 6, cfgMMI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accNo := bNo.Accuracy(x, labels)
+	accYes := bYes.Accuracy(x, labels)
+	if accYes < accNo-0.02 {
+		t.Fatalf("MMI hurt: %v -> %v", accNo, accYes)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, 3, DefaultConfig()); err == nil {
+		t.Fatal("accepted empty data")
+	}
+	if _, err := Train([][]float64{{1, 2}}, []int{0, 1}, 2, DefaultConfig()); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+}
+
+func TestProjectionShape(t *testing.T) {
+	r := rng.New(5)
+	x, labels := fusionData(r, 300, 4, 3) // D = 12
+	b, err := Train(x, labels, 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OutDim defaults to K−1 = 3.
+	if b.Projection.Rows != 3 || b.Projection.Cols != 12 {
+		t.Fatalf("projection %dx%d", b.Projection.Rows, b.Projection.Cols)
+	}
+}
+
+func TestPriorsNormalized(t *testing.T) {
+	r := rng.New(6)
+	x, labels := fusionData(r, 200, 3, 2)
+	b, err := Train(x, labels, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, lp := range b.LogPriors {
+		sum += math.Exp(lp)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("priors sum to %v", sum)
+	}
+}

@@ -1,0 +1,429 @@
+// Package hmm implements the hidden-Markov-model machinery of the acoustic
+// front-ends: 3-state left-to-right phone HMMs with pluggable emission
+// scorers (diagonal GMMs for the GMM-HMM front-ends, MLP posterior
+// estimators for the hybrid ANN/DNN-HMM front-ends), a phone-loop Viterbi
+// decoder, forced alignment for acoustic-model training, and posterior-
+// weighted confusion generation that downstream code assembles into phone
+// lattices.
+package hmm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gmm"
+	"repro/internal/rng"
+)
+
+// StatesPerPhone is the paper's standard left-to-right topology.
+const StatesPerPhone = 3
+
+// EmissionScorer scores a feature frame against a global HMM state. State
+// indices are phone*StatesPerPhone + stateWithinPhone.
+type EmissionScorer interface {
+	LogEmit(state int, frame []float64) float64
+	NumStates() int
+}
+
+// Model is a phone-loop HMM over numPhones phones.
+type Model struct {
+	NumPhones int
+	Emit      EmissionScorer
+	// LogSelf is the self-loop log probability per state; the forward
+	// transition gets log(1−exp(LogSelf)).
+	LogSelf float64
+	// LogPhoneTrans[a][b] is the log probability of phone b following
+	// phone a at phone boundaries. If nil, uniform.
+	LogPhoneTrans [][]float64
+}
+
+// NewModel builds a phone-loop model with the given emissions and an
+// expected state duration of meanFramesPerState frames.
+func NewModel(numPhones int, emit EmissionScorer, meanFramesPerState float64) *Model {
+	if emit.NumStates() != numPhones*StatesPerPhone {
+		panic(fmt.Sprintf("hmm: emission scorer has %d states for %d phones", emit.NumStates(), numPhones))
+	}
+	if meanFramesPerState < 1 {
+		meanFramesPerState = 1
+	}
+	// Geometric duration: mean = 1/(1−p) → p = 1 − 1/mean.
+	p := 1 - 1/meanFramesPerState
+	if p <= 0 {
+		p = 0.01
+	}
+	return &Model{
+		NumPhones: numPhones,
+		Emit:      emit,
+		LogSelf:   math.Log(p),
+	}
+}
+
+// Segment is a decoded phone span over feature frames [Start, End).
+type Segment struct {
+	Phone      int
+	Start, End int
+}
+
+// Decode runs phone-loop Viterbi over the frames and returns the best
+// phone segmentation. An empty input returns nil.
+func (m *Model) Decode(frames [][]float64) []Segment {
+	t := len(frames)
+	if t == 0 {
+		return nil
+	}
+	s := m.NumPhones * StatesPerPhone
+	logFwd := math.Log(1 - math.Exp(m.LogSelf))
+	negInf := math.Inf(-1)
+
+	// delta[t][s], backpointer bp[t][s]: previous state, with −1 meaning
+	// "entered from a phone boundary"; bpPhone holds the previous phone
+	// in that case.
+	delta := make([][]float64, t)
+	bp := make([][]int32, t)
+	bpPhone := make([][]int32, t)
+	for i := range delta {
+		delta[i] = make([]float64, s)
+		bp[i] = make([]int32, s)
+		bpPhone[i] = make([]int32, s)
+	}
+
+	uniform := -math.Log(float64(m.NumPhones))
+	// Init: any phone may start, in its first state.
+	for st := 0; st < s; st++ {
+		if st%StatesPerPhone == 0 {
+			delta[0][st] = uniform + m.Emit.LogEmit(st, frames[0])
+		} else {
+			delta[0][st] = negInf
+		}
+		bp[0][st] = -1
+		bpPhone[0][st] = -1
+	}
+
+	for ti := 1; ti < t; ti++ {
+		prev := delta[ti-1]
+		cur := delta[ti]
+		// Best phone exit at ti−1 for boundary transitions.
+		bestExit, bestExitPhone := negInf, -1
+		var exitScores []float64
+		if m.LogPhoneTrans != nil {
+			exitScores = make([]float64, m.NumPhones)
+			for p := range exitScores {
+				exitScores[p] = negInf
+			}
+		}
+		for p := 0; p < m.NumPhones; p++ {
+			exitState := p*StatesPerPhone + StatesPerPhone - 1
+			v := prev[exitState] + logFwd
+			if m.LogPhoneTrans != nil {
+				exitScores[p] = v
+			}
+			if v > bestExit {
+				bestExit, bestExitPhone = v, p
+			}
+		}
+		for st := 0; st < s; st++ {
+			within := st % StatesPerPhone
+			phone := st / StatesPerPhone
+			best := prev[st] + m.LogSelf
+			from := int32(st)
+			fromPhone := int32(-1)
+			if within > 0 {
+				if v := prev[st-1] + logFwd; v > best {
+					best, from = v, int32(st-1)
+				}
+			} else {
+				// Phone entry: from the best exiting phone.
+				if m.LogPhoneTrans == nil {
+					if v := bestExit + uniform; v > best {
+						best, from, fromPhone = v, -1, int32(bestExitPhone)
+					}
+				} else {
+					for pp := 0; pp < m.NumPhones; pp++ {
+						if v := exitScores[pp] + m.LogPhoneTrans[pp][phone]; v > best {
+							best, from, fromPhone = v, -1, int32(pp)
+						}
+					}
+				}
+			}
+			cur[st] = best + m.Emit.LogEmit(st, frames[ti])
+			bp[ti][st] = from
+			bpPhone[ti][st] = fromPhone
+		}
+	}
+
+	// Backtrace from the best final exit state.
+	bestState, bestScore := 0, negInf
+	for p := 0; p < m.NumPhones; p++ {
+		st := p*StatesPerPhone + StatesPerPhone - 1
+		if delta[t-1][st] > bestScore {
+			bestState, bestScore = st, delta[t-1][st]
+		}
+	}
+	if math.IsInf(bestScore, -1) {
+		// No complete path; fall back to global best state.
+		for st := 0; st < s; st++ {
+			if delta[t-1][st] > bestScore {
+				bestState, bestScore = st, delta[t-1][st]
+			}
+		}
+	}
+	// Recover phone boundaries by walking backpointers.
+	phoneAt := make([]int, t)
+	st := bestState
+	for ti := t - 1; ti >= 0; ti-- {
+		phoneAt[ti] = st / StatesPerPhone
+		if ti == 0 {
+			break
+		}
+		if bp[ti][st] >= 0 {
+			st = int(bp[ti][st])
+		} else {
+			// Boundary: previous frame ended phone bpPhone in its exit
+			// state.
+			st = int(bpPhone[ti][st])*StatesPerPhone + StatesPerPhone - 1
+		}
+	}
+	var segs []Segment
+	start := 0
+	for ti := 1; ti <= t; ti++ {
+		if ti == t || phoneAt[ti] != phoneAt[start] {
+			segs = append(segs, Segment{Phone: phoneAt[start], Start: start, End: ti})
+			start = ti
+		}
+	}
+	return segs
+}
+
+// ForcedAlign aligns frames against a known phone sequence with a
+// left-to-right Viterbi pass, returning one segment per phone. Phones that
+// receive no frames are dropped. It returns an error when there are fewer
+// frames than required to give each phone one frame per state... relaxed:
+// fewer frames than phones.
+func (m *Model) ForcedAlign(frames [][]float64, phoneSeq []int) ([]Segment, error) {
+	t, n := len(frames), len(phoneSeq)
+	if n == 0 {
+		return nil, fmt.Errorf("hmm: empty phone sequence")
+	}
+	if t < n {
+		return nil, fmt.Errorf("hmm: %d frames cannot align %d phones", t, n)
+	}
+	logFwd := math.Log(1 - math.Exp(m.LogSelf))
+	negInf := math.Inf(-1)
+	// Linear state graph: n phones × StatesPerPhone states.
+	s := n * StatesPerPhone
+	emitState := func(linear int) int {
+		phone := phoneSeq[linear/StatesPerPhone]
+		return phone*StatesPerPhone + linear%StatesPerPhone
+	}
+	delta := make([][]float64, t)
+	for i := range delta {
+		delta[i] = make([]float64, s)
+		for j := range delta[i] {
+			delta[i][j] = negInf
+		}
+	}
+	bp := make([][]int32, t)
+	for i := range bp {
+		bp[i] = make([]int32, s)
+	}
+	delta[0][0] = m.Emit.LogEmit(emitState(0), frames[0])
+	for ti := 1; ti < t; ti++ {
+		for st := 0; st < s; st++ {
+			best, from := delta[ti-1][st]+m.LogSelf, int32(st)
+			if st > 0 {
+				if v := delta[ti-1][st-1] + logFwd; v > best {
+					best, from = v, int32(st-1)
+				}
+			}
+			if math.IsInf(best, -1) {
+				continue
+			}
+			delta[ti][st] = best + m.Emit.LogEmit(emitState(st), frames[ti])
+			bp[ti][st] = from
+		}
+	}
+	if math.IsInf(delta[t-1][s-1], -1) {
+		return nil, fmt.Errorf("hmm: no complete alignment path")
+	}
+	// Backtrace.
+	stateAt := make([]int, t)
+	st := int32(s - 1)
+	for ti := t - 1; ti >= 0; ti-- {
+		stateAt[ti] = int(st)
+		if ti > 0 {
+			st = bp[ti][st]
+		}
+	}
+	var segs []Segment
+	start := 0
+	for ti := 1; ti <= t; ti++ {
+		if ti == t || stateAt[ti]/StatesPerPhone != stateAt[start]/StatesPerPhone {
+			segs = append(segs, Segment{
+				Phone: phoneSeq[stateAt[start]/StatesPerPhone],
+				Start: start,
+				End:   ti,
+			})
+			start = ti
+		}
+	}
+	return segs, nil
+}
+
+// Alternative is a candidate phone for a decoded segment with its
+// posterior probability.
+type Alternative struct {
+	Phone     int
+	Posterior float64
+}
+
+// SegmentAlternatives rescoring: for each decoded segment, every phone's
+// emission model scores the segment's frames (summed over the best
+// within-phone state per frame, a standard fast approximation), and the
+// top-k phones are returned with softmax posteriors. This is the
+// confusion-network form of lattice generation.
+func (m *Model) SegmentAlternatives(frames [][]float64, segs []Segment, k int, acousticScale float64) [][]Alternative {
+	out := make([][]Alternative, len(segs))
+	scores := make([]float64, m.NumPhones)
+	for i, seg := range segs {
+		for p := 0; p < m.NumPhones; p++ {
+			var total float64
+			for ti := seg.Start; ti < seg.End; ti++ {
+				best := math.Inf(-1)
+				for w := 0; w < StatesPerPhone; w++ {
+					if v := m.Emit.LogEmit(p*StatesPerPhone+w, frames[ti]); v > best {
+						best = v
+					}
+				}
+				total += best
+			}
+			scores[p] = total * acousticScale / float64(seg.End-seg.Start)
+		}
+		out[i] = softmaxTopK(scores, k)
+	}
+	return out
+}
+
+// softmaxTopK returns the top-k indices of scores with their softmax
+// probabilities renormalized over the selected set.
+func softmaxTopK(scores []float64, k int) []Alternative {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	maxv := scores[idx[0]]
+	alts := make([]Alternative, 0, k)
+	var z float64
+	for _, i := range idx[:k] {
+		z += math.Exp(scores[i] - maxv)
+	}
+	for _, i := range idx[:k] {
+		alts = append(alts, Alternative{Phone: i, Posterior: math.Exp(scores[i]-maxv) / z})
+	}
+	return alts
+}
+
+// GMMEmissions is the GMM-HMM emission scorer: one diagonal GMM per state.
+type GMMEmissions struct {
+	States []*gmm.GMM
+}
+
+// LogEmit implements EmissionScorer.
+func (g *GMMEmissions) LogEmit(state int, frame []float64) float64 {
+	return g.States[state].LogProb(frame)
+}
+
+// NumStates implements EmissionScorer.
+func (g *GMMEmissions) NumStates() int { return len(g.States) }
+
+// TrainGMMEmissions trains per-state GMMs from labeled utterances using a
+// flat-start: each labeled phone segment contributes its frames split into
+// StatesPerPhone equal chunks (the standard uniform-segmentation
+// initialization before realignment).
+//
+// utterFrames[i] are the frames of utterance i; utterSegs[i] its phone
+// segments. numComp is the Gaussians per state (32 in the paper; smaller
+// values keep tests fast).
+func TrainGMMEmissions(r *rng.RNG, numPhones int, utterFrames [][][]float64, utterSegs [][]Segment, numComp, emIters int) *GMMEmissions {
+	if len(utterFrames) != len(utterSegs) {
+		panic("hmm: frames/segments length mismatch")
+	}
+	numStates := numPhones * StatesPerPhone
+	buckets := make([][][]float64, numStates)
+	for ui := range utterFrames {
+		frames := utterFrames[ui]
+		for _, seg := range utterSegs[ui] {
+			segLen := seg.End - seg.Start
+			if segLen <= 0 {
+				continue
+			}
+			for off := 0; off < segLen; off++ {
+				w := off * StatesPerPhone / segLen
+				state := seg.Phone*StatesPerPhone + w
+				buckets[state] = append(buckets[state], frames[seg.Start+off])
+			}
+		}
+	}
+	var dim int
+	for _, b := range buckets {
+		if len(b) > 0 {
+			dim = len(b[0])
+			break
+		}
+	}
+	if dim == 0 {
+		panic("hmm: no training frames")
+	}
+	e := &GMMEmissions{States: make([]*gmm.GMM, numStates)}
+	for st := 0; st < numStates; st++ {
+		data := buckets[st]
+		nc := numComp
+		if len(data) < 2*nc {
+			nc = len(data)/2 + 1
+		}
+		if len(data) == 0 {
+			// Unseen state: broad fallback model so decoding stays finite.
+			e.States[st] = gmm.New(dim, 1)
+			continue
+		}
+		e.States[st] = gmm.Train(r.Split(uint64(st)), data, dim, nc, 5, emIters)
+	}
+	return e
+}
+
+// PosteriorEmissions adapts a frame-posterior classifier (the MLP of the
+// hybrid ANN/DNN-HMM front-ends) into HMM emission scores via the standard
+// hybrid scaled-likelihood trick: log p(x|s) ≈ log P(s|x) − log P(s).
+type PosteriorEmissions struct {
+	// Classify returns per-phone log posteriors for a frame.
+	Classify func(frame []float64) []float64
+	// LogPriors are per-phone log priors subtracted from posteriors.
+	LogPriors []float64
+	// cached per-frame results keyed by frame identity are intentionally
+	// omitted; the decoder calls states of the same phone with the same
+	// frame, so we memoize the last frame.
+	lastFrame []float64
+	lastLogP  []float64
+}
+
+// LogEmit implements EmissionScorer. All states of a phone share the
+// phone-level scaled likelihood.
+func (p *PosteriorEmissions) LogEmit(state int, frame []float64) float64 {
+	if !sameSlice(p.lastFrame, frame) {
+		p.lastLogP = p.Classify(frame)
+		p.lastFrame = frame
+	}
+	phone := state / StatesPerPhone
+	return p.lastLogP[phone] - p.LogPriors[phone]
+}
+
+// NumStates implements EmissionScorer.
+func (p *PosteriorEmissions) NumStates() int { return len(p.LogPriors) * StatesPerPhone }
+
+func sameSlice(a, b []float64) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+}

@@ -1,0 +1,300 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gmm"
+	"repro/internal/rng"
+)
+
+// toyEmissions builds 3 phones whose states emit 1-D Gaussians centered at
+// distinct values: phone p emits around 10·p (all three states share the
+// center, slightly offset per state).
+func toyEmissions() *GMMEmissions {
+	e := &GMMEmissions{}
+	for p := 0; p < 3; p++ {
+		for s := 0; s < StatesPerPhone; s++ {
+			g := gmm.New(1, 1)
+			g.Means[0][0] = float64(10*p) + 0.1*float64(s)
+			g.Vars[0][0] = 1
+			g.TrainEM(nil, 0) // no-op; refresh happens in New
+			e.States = append(e.States, g)
+		}
+	}
+	return e
+}
+
+// toySignal emits frames for the given phone sequence, framesPer per phone.
+func toySignal(r *rng.RNG, seq []int, framesPer int) [][]float64 {
+	var frames [][]float64
+	for _, p := range seq {
+		for i := 0; i < framesPer; i++ {
+			frames = append(frames, []float64{float64(10*p) + 0.5*r.Norm()})
+		}
+	}
+	return frames
+}
+
+func TestDecodeRecoversSequence(t *testing.T) {
+	r := rng.New(1)
+	m := NewModel(3, toyEmissions(), 5)
+	seq := []int{0, 2, 1, 0, 1}
+	frames := toySignal(r, seq, 8)
+	segs := m.Decode(frames)
+	var got []int
+	for _, s := range segs {
+		got = append(got, s.Phone)
+	}
+	if len(got) != len(seq) {
+		t.Fatalf("decoded %v, want %v", got, seq)
+	}
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("decoded %v, want %v", got, seq)
+		}
+	}
+}
+
+func TestDecodeSegmentsPartitionFrames(t *testing.T) {
+	r := rng.New(2)
+	m := NewModel(3, toyEmissions(), 5)
+	frames := toySignal(r, []int{1, 0, 2}, 10)
+	segs := m.Decode(frames)
+	if segs[0].Start != 0 {
+		t.Fatalf("first segment starts at %d", segs[0].Start)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End {
+			t.Fatalf("segments not contiguous at %d", i)
+		}
+	}
+	if segs[len(segs)-1].End != len(frames) {
+		t.Fatalf("last segment ends at %d, want %d", segs[len(segs)-1].End, len(frames))
+	}
+}
+
+func TestDecodeBoundariesApproximatelyCorrect(t *testing.T) {
+	r := rng.New(3)
+	m := NewModel(3, toyEmissions(), 5)
+	frames := toySignal(r, []int{0, 2}, 20)
+	segs := m.Decode(frames)
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	if b := segs[0].End; b < 17 || b > 23 {
+		t.Fatalf("boundary at %d, want ≈20", b)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	m := NewModel(3, toyEmissions(), 5)
+	if segs := m.Decode(nil); segs != nil {
+		t.Fatalf("Decode(nil) = %v", segs)
+	}
+}
+
+func TestDecodeWithPhoneLM(t *testing.T) {
+	// With a language model strongly favoring 0→1→0→1…, an ambiguous
+	// signal should decode to the LM-favored sequence.
+	r := rng.New(4)
+	m := NewModel(3, toyEmissions(), 5)
+	lm := make([][]float64, 3)
+	for a := range lm {
+		lm[a] = []float64{math.Log(0.05), math.Log(0.05), math.Log(0.05)}
+	}
+	lm[0][1] = math.Log(0.9)
+	lm[1][0] = math.Log(0.9)
+	lm[2][0] = math.Log(0.9)
+	m.LogPhoneTrans = lm
+	frames := toySignal(r, []int{0, 1, 0, 1}, 8)
+	segs := m.Decode(frames)
+	var got []int
+	for _, s := range segs {
+		got = append(got, s.Phone)
+	}
+	want := []int{0, 1, 0, 1}
+	if len(got) != 4 {
+		t.Fatalf("decoded %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decoded %v, want %v", got, want)
+		}
+	}
+}
+
+func TestForcedAlign(t *testing.T) {
+	r := rng.New(5)
+	m := NewModel(3, toyEmissions(), 5)
+	seq := []int{2, 0, 1}
+	frames := toySignal(r, seq, 12)
+	segs, err := m.ForcedAlign(frames, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	for i, s := range segs {
+		if s.Phone != seq[i] {
+			t.Fatalf("segment %d phone %d, want %d", i, s.Phone, seq[i])
+		}
+	}
+	// Boundaries near 12 and 24.
+	if b := segs[0].End; b < 9 || b > 15 {
+		t.Fatalf("first boundary at %d", b)
+	}
+	if b := segs[1].End; b < 21 || b > 27 {
+		t.Fatalf("second boundary at %d", b)
+	}
+}
+
+func TestForcedAlignErrors(t *testing.T) {
+	m := NewModel(3, toyEmissions(), 5)
+	if _, err := m.ForcedAlign([][]float64{{0}}, nil); err == nil {
+		t.Error("accepted empty phone sequence")
+	}
+	if _, err := m.ForcedAlign([][]float64{{0}}, []int{0, 1, 2}); err == nil {
+		t.Error("accepted more phones than frames")
+	}
+}
+
+func TestSegmentAlternatives(t *testing.T) {
+	r := rng.New(6)
+	m := NewModel(3, toyEmissions(), 5)
+	frames := toySignal(r, []int{1}, 10)
+	segs := []Segment{{Phone: 1, Start: 0, End: 10}}
+	alts := m.SegmentAlternatives(frames, segs, 3, 1.0)
+	if len(alts) != 1 || len(alts[0]) != 3 {
+		t.Fatalf("alternatives shape wrong: %v", alts)
+	}
+	if alts[0][0].Phone != 1 {
+		t.Fatalf("top alternative is phone %d", alts[0][0].Phone)
+	}
+	var sum float64
+	for _, a := range alts[0] {
+		if a.Posterior < 0 || a.Posterior > 1 {
+			t.Fatalf("posterior %v out of range", a.Posterior)
+		}
+		sum += a.Posterior
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("posteriors sum to %v", sum)
+	}
+	if alts[0][0].Posterior < alts[0][1].Posterior {
+		t.Fatal("alternatives not sorted by posterior")
+	}
+}
+
+func TestSegmentAlternativesAcousticScaleFlattens(t *testing.T) {
+	r := rng.New(7)
+	m := NewModel(3, toyEmissions(), 5)
+	frames := toySignal(r, []int{1}, 10)
+	segs := []Segment{{Phone: 1, Start: 0, End: 10}}
+	sharp := m.SegmentAlternatives(frames, segs, 3, 1.0)
+	flat := m.SegmentAlternatives(frames, segs, 3, 0.05)
+	if flat[0][0].Posterior >= sharp[0][0].Posterior {
+		t.Fatalf("scale 0.05 posterior %v not flatter than scale 1.0 %v",
+			flat[0][0].Posterior, sharp[0][0].Posterior)
+	}
+}
+
+func TestTrainGMMEmissionsEndToEnd(t *testing.T) {
+	// Generate labeled data from the toy model, train emissions from
+	// scratch, and verify the trained model decodes correctly.
+	r := rng.New(8)
+	var utterFrames [][][]float64
+	var utterSegs [][]Segment
+	for u := 0; u < 10; u++ {
+		seq := []int{r.Intn(3), r.Intn(3), r.Intn(3)}
+		frames := toySignal(r, seq, 9)
+		var segs []Segment
+		for i, p := range seq {
+			segs = append(segs, Segment{Phone: p, Start: i * 9, End: (i + 1) * 9})
+		}
+		utterFrames = append(utterFrames, frames)
+		utterSegs = append(utterSegs, segs)
+	}
+	emit := TrainGMMEmissions(r, 3, utterFrames, utterSegs, 2, 5)
+	if emit.NumStates() != 9 {
+		t.Fatalf("NumStates = %d", emit.NumStates())
+	}
+	m := NewModel(3, emit, 5)
+	seq := []int{0, 2, 1}
+	frames := toySignal(r, seq, 10)
+	segs := m.Decode(frames)
+	var got []int
+	for _, s := range segs {
+		got = append(got, s.Phone)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("trained model decoded %v, want %v", got, seq)
+	}
+}
+
+func TestPosteriorEmissions(t *testing.T) {
+	calls := 0
+	pe := &PosteriorEmissions{
+		Classify: func(frame []float64) []float64 {
+			calls++
+			// Log posteriors favoring phone = round(frame[0]/10).
+			out := make([]float64, 3)
+			for p := range out {
+				d := frame[0] - float64(10*p)
+				out[p] = -d * d
+			}
+			return out
+		},
+		LogPriors: []float64{math.Log(1.0 / 3), math.Log(1.0 / 3), math.Log(1.0 / 3)},
+	}
+	if pe.NumStates() != 9 {
+		t.Fatalf("NumStates = %d", pe.NumStates())
+	}
+	frame := []float64{10}
+	// All three states of phone 1 share the frame-level result; the
+	// classifier must be invoked only once for the same frame slice.
+	a := pe.LogEmit(3, frame)
+	b := pe.LogEmit(4, frame)
+	c := pe.LogEmit(5, frame)
+	if a != b || b != c {
+		t.Fatal("states of one phone scored differently")
+	}
+	if calls != 1 {
+		t.Fatalf("classifier called %d times for one frame", calls)
+	}
+	if pe.LogEmit(0, frame) >= a {
+		t.Fatal("wrong phone scored higher")
+	}
+}
+
+func TestPosteriorEmissionsDecode(t *testing.T) {
+	r := rng.New(9)
+	pe := &PosteriorEmissions{
+		Classify: func(frame []float64) []float64 {
+			out := make([]float64, 3)
+			var z float64
+			for p := range out {
+				d := frame[0] - float64(10*p)
+				out[p] = math.Exp(-d * d / 2)
+				z += out[p]
+			}
+			for p := range out {
+				out[p] = math.Log(out[p]/z + 1e-30)
+			}
+			return out
+		},
+		LogPriors: []float64{math.Log(1.0 / 3), math.Log(1.0 / 3), math.Log(1.0 / 3)},
+	}
+	m := NewModel(3, pe, 5)
+	seq := []int{1, 0, 2}
+	frames := toySignal(r, seq, 10)
+	segs := m.Decode(frames)
+	var got []int
+	for _, s := range segs {
+		got = append(got, s.Phone)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("hybrid decode = %v, want %v", got, seq)
+	}
+}

@@ -1,0 +1,115 @@
+package hmm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPropertyDecodePartitionsFrames(t *testing.T) {
+	r := rng.New(10)
+	m := NewModel(3, toyEmissions(), 5)
+	f := func(seed uint16) bool {
+		rr := r.Split(uint64(seed))
+		n := rr.Intn(4) + 1
+		seq := make([]int, n)
+		for i := range seq {
+			seq[i] = rr.Intn(3)
+		}
+		frames := toySignal(rr, seq, rr.Intn(6)+4)
+		segs := m.Decode(frames)
+		if len(segs) == 0 {
+			return false
+		}
+		if segs[0].Start != 0 || segs[len(segs)-1].End != len(frames) {
+			return false
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start != segs[i-1].End {
+				return false
+			}
+			if segs[i].Phone == segs[i-1].Phone {
+				return false // adjacent segments must differ
+			}
+		}
+		for _, s := range segs {
+			if s.Phone < 0 || s.Phone >= 3 || s.End <= s.Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyForcedAlignPreservesTranscription(t *testing.T) {
+	r := rng.New(11)
+	m := NewModel(3, toyEmissions(), 5)
+	f := func(seed uint16) bool {
+		rr := r.Split(uint64(seed))
+		n := rr.Intn(3) + 1
+		seq := make([]int, n)
+		for i := range seq {
+			seq[i] = rr.Intn(3)
+		}
+		frames := toySignal(rr, seq, 8)
+		segs, err := m.ForcedAlign(frames, seq)
+		if err != nil {
+			return false
+		}
+		if len(segs) != len(seq) {
+			return false
+		}
+		for i, s := range segs {
+			if s.Phone != seq[i] {
+				return false
+			}
+		}
+		// Contiguous cover.
+		if segs[0].Start != 0 || segs[len(segs)-1].End != len(frames) {
+			return false
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start != segs[i-1].End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySegmentAlternativesAreDistributions(t *testing.T) {
+	r := rng.New(12)
+	m := NewModel(3, toyEmissions(), 5)
+	f := func(seed uint16) bool {
+		rr := r.Split(uint64(seed))
+		seq := []int{rr.Intn(3), rr.Intn(3)}
+		frames := toySignal(rr, seq, 6)
+		segs := m.Decode(frames)
+		alts := m.SegmentAlternatives(frames, segs, 3, 0.5)
+		for _, slot := range alts {
+			var sum float64
+			prev := 2.0
+			for _, a := range slot {
+				if a.Posterior < 0 || a.Posterior > 1 || a.Posterior > prev+1e-12 {
+					return false
+				}
+				prev = a.Posterior
+				sum += a.Posterior
+			}
+			if sum < 0.999 || sum > 1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package lattice implements phone lattices and the expected N-gram
+// counting of the paper's Section 2.2: given a lattice ℓ produced by a
+// phone recognizer, the expected count of an N-gram h_i…h_{i+N−1} is the
+// posterior-weighted sum over all length-N edge paths,
+//
+//	c_E(h_i,…,h_{i+N−1}|ℓ) = Σ_paths α(e_i)·Π_j w(e_j)·β(e_{i+N−1}) / P(ℓ),
+//
+// where α and β are forward/backward scores at the path's end nodes, w(e)
+// the edge weight, and P(ℓ) the total lattice likelihood (the paper's
+// Eq. 2 normalizes these into N-gram probabilities).
+//
+// Nodes are topologically ordered by construction: every edge must go from
+// a lower-numbered node to a higher-numbered one; node 0 is the unique
+// start and node NumNodes−1 the unique end. This matches the output of
+// both the simulated decoders and the confusion-network generator of the
+// acoustic path (a "sausage" is a linear lattice with parallel edges).
+package lattice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Edge is a scored phone arc.
+type Edge struct {
+	From, To int
+	Phone    int
+	// LogScore is the combined acoustic+LM log weight of the edge.
+	LogScore float64
+}
+
+// Lattice is a DAG of phone edges over topologically ordered nodes.
+type Lattice struct {
+	NumNodes int
+	Edges    []Edge
+	// out[n] lists indices into Edges leaving node n.
+	out [][]int32
+	// in[n] lists indices into Edges entering node n.
+	in [][]int32
+}
+
+// New returns an empty lattice with numNodes nodes.
+func New(numNodes int) *Lattice {
+	if numNodes < 2 {
+		panic("lattice: need at least start and end nodes")
+	}
+	return &Lattice{
+		NumNodes: numNodes,
+		out:      make([][]int32, numNodes),
+		in:       make([][]int32, numNodes),
+	}
+}
+
+// AddEdge appends an edge; from must be < to (topological order).
+func (l *Lattice) AddEdge(from, to, phone int, logScore float64) {
+	if from < 0 || to >= l.NumNodes || from >= to {
+		panic(fmt.Sprintf("lattice: bad edge %d→%d with %d nodes", from, to, l.NumNodes))
+	}
+	idx := int32(len(l.Edges))
+	l.Edges = append(l.Edges, Edge{From: from, To: to, Phone: phone, LogScore: logScore})
+	l.out[from] = append(l.out[from], idx)
+	l.in[to] = append(l.in[to], idx)
+}
+
+// NumEdges returns the edge count.
+func (l *Lattice) NumEdges() int { return len(l.Edges) }
+
+// Validate checks connectivity invariants: every node except the start has
+// incoming edges, every node except the end has outgoing edges.
+func (l *Lattice) Validate() error {
+	if len(l.Edges) == 0 {
+		return fmt.Errorf("lattice: no edges")
+	}
+	for n := 0; n < l.NumNodes; n++ {
+		if n != 0 && len(l.in[n]) == 0 {
+			return fmt.Errorf("lattice: node %d unreachable", n)
+		}
+		if n != l.NumNodes-1 && len(l.out[n]) == 0 {
+			return fmt.Errorf("lattice: node %d is a dead end", n)
+		}
+	}
+	return nil
+}
+
+// logAdd returns log(exp(a)+exp(b)) stably.
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// ForwardBackward computes log forward scores α (by node), log backward
+// scores β (by node), and the total log likelihood log P(ℓ).
+func (l *Lattice) ForwardBackward() (alpha, beta []float64, logTotal float64) {
+	negInf := math.Inf(-1)
+	alpha = make([]float64, l.NumNodes)
+	beta = make([]float64, l.NumNodes)
+	for i := range alpha {
+		alpha[i] = negInf
+		beta[i] = negInf
+	}
+	alpha[0] = 0
+	for n := 0; n < l.NumNodes; n++ {
+		if math.IsInf(alpha[n], -1) {
+			continue
+		}
+		for _, ei := range l.out[n] {
+			e := &l.Edges[ei]
+			alpha[e.To] = logAdd(alpha[e.To], alpha[n]+e.LogScore)
+		}
+	}
+	beta[l.NumNodes-1] = 0
+	for n := l.NumNodes - 1; n >= 0; n-- {
+		if math.IsInf(beta[n], -1) {
+			continue
+		}
+		for _, ei := range l.in[n] {
+			e := &l.Edges[ei]
+			beta[e.From] = logAdd(beta[e.From], e.LogScore+beta[n])
+		}
+	}
+	return alpha, beta, alpha[l.NumNodes-1]
+}
+
+// EdgePosteriors returns ξ(e) = P(e ∈ path) for every edge.
+func (l *Lattice) EdgePosteriors() []float64 {
+	alpha, beta, logTotal := l.ForwardBackward()
+	post := make([]float64, len(l.Edges))
+	for i := range l.Edges {
+		e := &l.Edges[i]
+		post[i] = math.Exp(alpha[e.From] + e.LogScore + beta[e.To] - logTotal)
+	}
+	return post
+}
+
+// ExpectedNgramCounts walks all consecutive-edge paths of length n and
+// reports each N-gram's expected count through emit. Unigram (n=1) counts
+// are the edge posteriors; higher orders follow the path formula in the
+// package comment. The emit callback receives the phone tuple (valid only
+// during the call) and the path's posterior weight.
+func (l *Lattice) ExpectedNgramCounts(n int, emit func(ngram []int, weight float64)) {
+	if n < 1 {
+		panic("lattice: n-gram order must be >= 1")
+	}
+	alpha, beta, logTotal := l.ForwardBackward()
+	if math.IsInf(logTotal, -1) {
+		return
+	}
+	ngram := make([]int, n)
+	var walk func(depth int, node int, logAcc float64)
+	walk = func(depth int, node int, logAcc float64) {
+		if depth == n {
+			emit(ngram, math.Exp(logAcc+beta[node]-logTotal))
+			return
+		}
+		for _, ei := range l.out[node] {
+			e := &l.Edges[ei]
+			ngram[depth] = e.Phone
+			walk(depth+1, e.To, logAcc+e.LogScore)
+		}
+	}
+	for start := 0; start < l.NumNodes; start++ {
+		if math.IsInf(alpha[start], -1) || len(l.out[start]) == 0 {
+			continue
+		}
+		walk(0, start, alpha[start])
+	}
+}
+
+// BestPath returns the Viterbi (max-score) phone sequence through the
+// lattice and its log score.
+func (l *Lattice) BestPath() ([]int, float64) {
+	negInf := math.Inf(-1)
+	best := make([]float64, l.NumNodes)
+	from := make([]int32, l.NumNodes)
+	for i := range best {
+		best[i] = negInf
+		from[i] = -1
+	}
+	best[0] = 0
+	for n := 0; n < l.NumNodes; n++ {
+		if math.IsInf(best[n], -1) {
+			continue
+		}
+		for _, ei := range l.out[n] {
+			e := &l.Edges[ei]
+			if v := best[n] + e.LogScore; v > best[e.To] {
+				best[e.To] = v
+				from[e.To] = ei
+			}
+		}
+	}
+	end := l.NumNodes - 1
+	if math.IsInf(best[end], -1) {
+		return nil, negInf
+	}
+	var rev []int
+	for n := end; n != 0; {
+		e := &l.Edges[from[n]]
+		rev = append(rev, e.Phone)
+		n = e.From
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, best[end]
+}
+
+// SausageSlot is one confusion-set slot: parallel phone hypotheses with
+// probabilities (need not be normalized; the lattice normalizes globally).
+type SausageSlot []struct {
+	Phone int
+	Prob  float64
+}
+
+// FromSausage builds a linear confusion-network lattice: slot i spans
+// nodes i→i+1 with one edge per alternative, weighted by log probability.
+// Zero-probability alternatives are dropped; a slot with no positive
+// alternatives panics (it would disconnect the lattice).
+func FromSausage(slots []SausageSlot) *Lattice {
+	if len(slots) == 0 {
+		panic("lattice: empty sausage")
+	}
+	l := New(len(slots) + 1)
+	for i, slot := range slots {
+		added := 0
+		for _, alt := range slot {
+			if alt.Prob <= 0 {
+				continue
+			}
+			l.AddEdge(i, i+1, alt.Phone, math.Log(alt.Prob))
+			added++
+		}
+		if added == 0 {
+			panic(fmt.Sprintf("lattice: sausage slot %d has no positive-probability alternative", i))
+		}
+	}
+	return l
+}
+
+// FromString builds the degenerate single-path lattice of a 1-best phone
+// sequence.
+func FromString(phoneSeq []int) *Lattice {
+	if len(phoneSeq) == 0 {
+		panic("lattice: empty phone string")
+	}
+	l := New(len(phoneSeq) + 1)
+	for i, p := range phoneSeq {
+		l.AddEdge(i, i+1, p, 0)
+	}
+	return l
+}

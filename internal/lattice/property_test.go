@@ -1,0 +1,169 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomSausage builds a random confusion network.
+func randomSausage(r *rng.RNG, maxSlots, maxAlts, numPhones int) *Lattice {
+	slots := make([]SausageSlot, r.Intn(maxSlots)+1)
+	for i := range slots {
+		var slot SausageSlot
+		k := r.Intn(maxAlts) + 1
+		for j := 0; j < k; j++ {
+			slot = append(slot, struct {
+				Phone int
+				Prob  float64
+			}{Phone: r.Intn(numPhones), Prob: r.Float64() + 0.01})
+		}
+		slots[i] = slot
+	}
+	return FromSausage(slots)
+}
+
+func TestPropertyUnigramMassEqualsSlots(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint16) bool {
+		rr := r.Split(uint64(seed))
+		l := randomSausage(rr, 12, 4, 10)
+		var total float64
+		l.ExpectedNgramCounts(1, func(_ []int, w float64) { total += w })
+		return math.Abs(total-float64(l.NumNodes-1)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBigramMassEqualsInteriorSlots(t *testing.T) {
+	// Total expected bigram mass in a sausage = #slots − 1 (one bigram
+	// crossing per interior boundary, summed over the distribution).
+	r := rng.New(2)
+	f := func(seed uint16) bool {
+		rr := r.Split(uint64(seed))
+		l := randomSausage(rr, 12, 4, 10)
+		slots := l.NumNodes - 1
+		if slots < 2 {
+			return true
+		}
+		var total float64
+		l.ExpectedNgramCounts(2, func(_ []int, w float64) { total += w })
+		return math.Abs(total-float64(slots-1)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySlotPosteriorsNormalized(t *testing.T) {
+	r := rng.New(3)
+	f := func(seed uint16) bool {
+		rr := r.Split(uint64(seed))
+		l := randomSausage(rr, 10, 5, 8)
+		post := l.EdgePosteriors()
+		bySlot := map[int]float64{}
+		for i, e := range l.Edges {
+			bySlot[e.From] += post[i]
+		}
+		for _, s := range bySlot {
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPruneKeepsViterbiAndValidity(t *testing.T) {
+	r := rng.New(4)
+	f := func(seed uint16, thrRaw uint8) bool {
+		rr := r.Split(uint64(seed))
+		l := randomSausage(rr, 10, 4, 8)
+		thr := float64(thrRaw) / 255
+		pruned := l.Prune(thr)
+		if pruned.Validate() != nil {
+			return false
+		}
+		a, _ := l.BestPath()
+		b, _ := pruned.BestPath()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return pruned.NumEdges() <= l.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOracleNeverWorseThanOneBest(t *testing.T) {
+	r := rng.New(5)
+	f := func(seed uint16) bool {
+		rr := r.Split(uint64(seed))
+		l := randomSausage(rr, 10, 4, 6)
+		// Random reference of similar length.
+		ref := make([]int, l.NumNodes-1)
+		for i := range ref {
+			ref[i] = rr.Intn(6)
+		}
+		best, _ := l.BestPath()
+		// 1-best PER via alignment-free bound: count positional mismatches
+		// is an upper bound on edit distance only for equal lengths, which
+		// holds in a sausage.
+		errs := 0
+		for i := range ref {
+			if best[i] != ref[i] {
+				errs++
+			}
+		}
+		oracle := l.OracleErrorRate(ref)
+		return oracle <= float64(errs)/float64(len(ref))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNBestScoresConsistent(t *testing.T) {
+	r := rng.New(6)
+	f := func(seed uint16) bool {
+		rr := r.Split(uint64(seed))
+		l := randomSausage(rr, 8, 3, 6)
+		paths := l.NBest(6)
+		if len(paths) == 0 {
+			return false
+		}
+		_, bestScore := l.BestPath()
+		if math.Abs(paths[0].LogScore-bestScore) > 1e-9 {
+			return false
+		}
+		for i := 1; i < len(paths); i++ {
+			if paths[i].LogScore > paths[i-1].LogScore+1e-9 {
+				return false
+			}
+		}
+		// All path probabilities ≤ 1 and > 0 given normalized-by-FB mass.
+		_, _, total := l.ForwardBackward()
+		for _, p := range paths {
+			if p.LogScore > total+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// ExampleEER computes the equal error rate of a small trial set.
+func ExampleEER() {
+	trials := []metrics.Trial{
+		{Score: 2.0, Target: true},
+		{Score: 1.0, Target: true},
+		{Score: 0.5, Target: false},
+		{Score: 1.5, Target: false}, // one confusable non-target
+		{Score: 0.8, Target: true},  // one confusable target
+		{Score: -1.0, Target: false},
+	}
+	fmt.Printf("EER = %.1f%%\n", metrics.EER(trials)*100)
+	// Output:
+	// EER = 33.3%
+}
+
+// ExampleCavg evaluates the NIST LRE 2009 average cost of hard decisions
+// at threshold 0.
+func ExampleCavg() {
+	trials := []metrics.PairTrial{
+		{Model: 0, True: 0, Score: 1.0},  // hit
+		{Model: 1, True: 0, Score: -1.0}, // correct rejection
+		{Model: 0, True: 1, Score: 0.5},  // false alarm
+		{Model: 1, True: 1, Score: -0.5}, // miss
+	}
+	fmt.Printf("Cavg = %.3f\n", metrics.Cavg(trials, 2, 0))
+	// Output:
+	// Cavg = 0.500
+}

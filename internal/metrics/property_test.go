@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randomTrials(r *rng.RNG, n int, sep float64) []Trial {
+	out := make([]Trial, n)
+	for i := range out {
+		target := r.Bernoulli(0.3)
+		s := r.Norm()
+		if target {
+			s += sep
+		}
+		out[i] = Trial{Score: s, Target: target}
+	}
+	return out
+}
+
+func TestPropertyEERInvariantToShiftAndScale(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint16, shiftRaw int8, scaleRaw uint8) bool {
+		rr := r.Split(uint64(seed))
+		trials := randomTrials(rr, 200, 1)
+		shift := float64(shiftRaw)
+		scale := float64(scaleRaw)/64 + 0.1 // positive
+		shifted := make([]Trial, len(trials))
+		for i, tr := range trials {
+			shifted[i] = Trial{Score: tr.Score*scale + shift, Target: tr.Target}
+		}
+		a, b := EER(trials), EER(shifted)
+		if math.IsNaN(a) {
+			return math.IsNaN(b)
+		}
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEERBounds(t *testing.T) {
+	r := rng.New(2)
+	f := func(seed uint16, sepRaw uint8) bool {
+		rr := r.Split(uint64(seed))
+		trials := randomTrials(rr, 150, float64(sepRaw)/32)
+		eer := EER(trials)
+		if math.IsNaN(eer) {
+			return true // single-class draw
+		}
+		return eer >= 0 && eer <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMoreSeparationLowerEER(t *testing.T) {
+	// Statistically, increasing the separation lowers EER.
+	r := rng.New(3)
+	wins := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		rr := r.Split(uint64(i))
+		weak := EER(randomTrials(rr, 400, 0.5))
+		strong := EER(randomTrials(rr, 400, 2.5))
+		if strong <= weak {
+			wins++
+		}
+	}
+	if wins < trials-3 {
+		t.Fatalf("stronger separation beat weaker only %d/%d times", wins, trials)
+	}
+}
+
+func TestPropertyCavgBounds(t *testing.T) {
+	r := rng.New(4)
+	f := func(seed uint16) bool {
+		rr := r.Split(uint64(seed))
+		k := rr.Intn(5) + 2
+		var pts []PairTrial
+		for j := 0; j < 200; j++ {
+			pts = append(pts, PairTrial{
+				Model: rr.Intn(k),
+				True:  rr.Intn(k),
+				Score: rr.Norm(),
+			})
+		}
+		c := Cavg(pts, k, 0)
+		if math.IsNaN(c) {
+			return true
+		}
+		if c < 0 || c > 1 {
+			return false
+		}
+		minC, _ := MinCavg(pts, k)
+		return minC <= c+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyThresholdAtFAConsistent(t *testing.T) {
+	// Accepting at the returned threshold yields a false-alarm rate close
+	// to the requested one.
+	r := rng.New(5)
+	f := func(seed uint16, faRaw uint8) bool {
+		rr := r.Split(uint64(seed))
+		trials := randomTrials(rr, 500, 1)
+		fa := float64(faRaw%90+5) / 100 // 5%..94%
+		th := ThresholdAtFA(trials, fa)
+		if math.IsNaN(th) {
+			return true
+		}
+		nNon, accepted := 0, 0
+		for _, tr := range trials {
+			if !tr.Target {
+				nNon++
+				if tr.Score > th {
+					accepted++
+				}
+			}
+		}
+		if nNon == 0 {
+			return true
+		}
+		got := float64(accepted) / float64(nNon)
+		return math.Abs(got-fa) < 0.02+2.0/float64(nNon)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDETContainsEERPoint(t *testing.T) {
+	// The DET curve passes within a step of the EER diagonal crossing.
+	r := rng.New(6)
+	f := func(seed uint16) bool {
+		rr := r.Split(uint64(seed))
+		trials := randomTrials(rr, 300, 1.5)
+		eer := EER(trials)
+		if math.IsNaN(eer) {
+			return true
+		}
+		pts := DET(trials)
+		bestGap := math.Inf(1)
+		for _, pt := range pts {
+			gap := math.Abs(pt.Pfa-eer) + math.Abs(pt.Pmiss-eer)
+			if gap < bestGap {
+				bestGap = gap
+			}
+		}
+		// Step size ~ 1/min(nTar, nNon); allow a few steps.
+		return bestGap < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

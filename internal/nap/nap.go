@@ -1,0 +1,277 @@
+// Package nap implements Nuisance Attribute Projection (Campbell et al.),
+// the channel-compensation technique customarily paired with SVM-based
+// phonotactic systems like the paper's PPRVSM baseline: the dominant
+// within-language variability directions of the training supervectors —
+// channel and session effects, by construction orthogonal to language
+// identity — are estimated and projected out of every supervector before
+// SVM training and scoring.
+//
+// The within-class covariance operator is never materialized (supervector
+// spaces run to thousands of dimensions); eigenvectors are found by power
+// iteration with deflation, where each operator application is a
+// matrix-free pass over the sparse centered data:
+//
+//	W·v = Σ_i ((x_i − μ_{y_i})·v) · (x_i − μ_{y_i}).
+//
+// NAP is an extension here (the paper does not mention it), motivated by
+// the corpus's deliberate CTS/VOA channel shift; the ablation bench
+// measures how much of DBA's adaptation headroom NAP already covers.
+package nap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Projection is a trained rank-k nuisance subspace.
+type Projection struct {
+	// Basis holds k orthonormal nuisance directions (dense, length Dim).
+	Basis [][]float64
+	Dim   int
+}
+
+// Config controls training.
+type Config struct {
+	// Rank is the number of nuisance directions to remove (typically
+	// 10–64 for supervector systems).
+	Rank int
+	// PowerIters per eigenvector (power iteration converges quickly on
+	// the dominant within-class directions; 20 is plenty).
+	PowerIters int
+}
+
+// DefaultConfig returns a small-rank setup suitable for the synthetic
+// corpus.
+func DefaultConfig() Config { return Config{Rank: 16, PowerIters: 20} }
+
+// Train estimates the nuisance subspace from labeled training
+// supervectors. Labels group vectors by language; the dominant directions
+// of variation *within* the groups are the nuisance basis.
+func Train(xs []*sparse.Vector, labels []int, dim int, cfg Config) (*Projection, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("nap: no training vectors")
+	}
+	if len(xs) != len(labels) {
+		return nil, fmt.Errorf("nap: %d vectors for %d labels", len(xs), len(labels))
+	}
+	if cfg.Rank <= 0 {
+		cfg.Rank = 16
+	}
+	if cfg.PowerIters <= 0 {
+		cfg.PowerIters = 20
+	}
+
+	// Per-class means (dense).
+	numClasses := 0
+	for _, l := range labels {
+		if l+1 > numClasses {
+			numClasses = l + 1
+		}
+	}
+	means := make([][]float64, numClasses)
+	counts := make([]int, numClasses)
+	for c := range means {
+		means[c] = make([]float64, dim)
+	}
+	for i, x := range xs {
+		counts[labels[i]]++
+		x.AxpyDense(1, means[labels[i]])
+	}
+	for c := range means {
+		if counts[c] > 0 {
+			scale := 1 / float64(counts[c])
+			for d := range means[c] {
+				means[c][d] *= scale
+			}
+		}
+	}
+
+	// centered(i, out): out = x_i − μ_{y_i}, dense.
+	centered := func(i int, out []float64) {
+		mu := means[labels[i]]
+		copy(out, mu)
+		for d := range out {
+			out[d] = -out[d]
+		}
+		xs[i].AxpyDense(1, out)
+	}
+
+	// Matrix-free W·v with deflation against previously found basis
+	// vectors: v is first orthogonalized, then W is applied.
+	applyW := func(v []float64, buf []float64, out []float64) {
+		for d := range out {
+			out[d] = 0
+		}
+		for i := range xs {
+			centered(i, buf)
+			var dot float64
+			for d := range v {
+				dot += buf[d] * v[d]
+			}
+			if dot == 0 {
+				continue
+			}
+			for d := range out {
+				out[d] += dot * buf[d]
+			}
+		}
+	}
+
+	p := &Projection{Dim: dim}
+	buf := make([]float64, dim)
+	next := make([]float64, dim)
+	// Deterministic pseudo-random init per eigenvector.
+	seedVec := func(k int, v []float64) {
+		h := uint64(k)*0x9e3779b97f4a7c15 + 0x123456789
+		for d := range v {
+			h ^= h << 13
+			h ^= h >> 7
+			h ^= h << 17
+			v[d] = float64(int64(h%2001)-1000) / 1000
+		}
+	}
+	orthogonalize := func(v []float64) {
+		for _, u := range p.Basis {
+			var dot float64
+			for d := range v {
+				dot += u[d] * v[d]
+			}
+			for d := range v {
+				v[d] -= dot * u[d]
+			}
+		}
+	}
+	normalize := func(v []float64) float64 {
+		var nrm float64
+		for _, x := range v {
+			nrm += x * x
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm > 0 {
+			for d := range v {
+				v[d] /= nrm
+			}
+		}
+		return nrm
+	}
+
+	v := make([]float64, dim)
+	for k := 0; k < cfg.Rank; k++ {
+		seedVec(k, v)
+		orthogonalize(v)
+		if normalize(v) == 0 {
+			break
+		}
+		var lastNorm float64
+		for it := 0; it < cfg.PowerIters; it++ {
+			applyW(v, buf, next)
+			orthogonalizeInto(p.Basis, next)
+			lastNorm = normalize(next)
+			if lastNorm == 0 {
+				break
+			}
+			copy(v, next)
+		}
+		if lastNorm < 1e-12 {
+			break // remaining within-class variance is negligible
+		}
+		u := make([]float64, dim)
+		copy(u, v)
+		p.Basis = append(p.Basis, u)
+	}
+	if len(p.Basis) == 0 {
+		return nil, fmt.Errorf("nap: no nuisance directions found (degenerate data)")
+	}
+	return p, nil
+}
+
+func orthogonalizeInto(basis [][]float64, v []float64) {
+	for _, u := range basis {
+		var dot float64
+		for d := range v {
+			dot += u[d] * v[d]
+		}
+		for d := range v {
+			v[d] -= dot * u[d]
+		}
+	}
+}
+
+// Rank returns the number of removed directions.
+func (p *Projection) Rank() int { return len(p.Basis) }
+
+// Apply returns (I − UUᵀ)·x. The result is dense in general and is
+// returned as a sparse vector with full support; callers batching many
+// projections should reuse ApplyDense.
+func (p *Projection) Apply(x *sparse.Vector) *sparse.Vector {
+	out := make([]float64, p.Dim)
+	x.AxpyDense(1, out)
+	p.ApplyDense(out)
+	return sparse.FromDense(out)
+}
+
+// ApplyDense projects a dense vector in place.
+func (p *Projection) ApplyDense(x []float64) {
+	for _, u := range p.Basis {
+		var dot float64
+		for d := range x {
+			dot += u[d] * x[d]
+		}
+		if dot == 0 {
+			continue
+		}
+		for d := range x {
+			x[d] -= dot * u[d]
+		}
+	}
+}
+
+// WithinClassVariance measures Σ_i ‖x_i − μ_{y_i}‖² of (optionally
+// projected) vectors — the quantity NAP minimizes in its subspace. Used by
+// tests and the ablation bench.
+func WithinClassVariance(xs []*sparse.Vector, labels []int, dim int, proj *Projection) float64 {
+	numClasses := 0
+	for _, l := range labels {
+		if l+1 > numClasses {
+			numClasses = l + 1
+		}
+	}
+	dense := make([][]float64, len(xs))
+	for i, x := range xs {
+		v := make([]float64, dim)
+		x.AxpyDense(1, v)
+		if proj != nil {
+			proj.ApplyDense(v)
+		}
+		dense[i] = v
+	}
+	means := make([][]float64, numClasses)
+	counts := make([]int, numClasses)
+	for c := range means {
+		means[c] = make([]float64, dim)
+	}
+	for i, v := range dense {
+		counts[labels[i]]++
+		for d := range v {
+			means[labels[i]][d] += v[d]
+		}
+	}
+	for c := range means {
+		if counts[c] > 0 {
+			for d := range means[c] {
+				means[c][d] /= float64(counts[c])
+			}
+		}
+	}
+	var total float64
+	for i, v := range dense {
+		mu := means[labels[i]]
+		for d := range v {
+			diff := v[d] - mu[d]
+			total += diff * diff
+		}
+	}
+	return total
+}

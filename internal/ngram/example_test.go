@@ -1,0 +1,37 @@
+package ngram_test
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/ngram"
+	"repro/internal/sparse"
+)
+
+// ExampleSpace_Supervector shows the paper's Eq. 2–3: a decoded phone
+// string becomes a per-order-normalized probability supervector.
+func ExampleSpace_Supervector() {
+	space := ngram.NewSpace(3, 2) // 3 phones, unigram+bigram
+	l := lattice.FromString([]int{0, 1, 0})
+	v := space.Supervector(l)
+	fmt.Printf("dim=%d nnz=%d\n", space.Dim(), v.NNZ())
+	fmt.Printf("p(0)=%.3f p(1)=%.3f\n", v.At(space.Index([]int{0})), v.At(space.Index([]int{1})))
+	fmt.Printf("p(01)=%.3f p(10)=%.3f\n", v.At(space.Index([]int{0, 1})), v.At(space.Index([]int{1, 0})))
+	// Output:
+	// dim=12 nnz=4
+	// p(0)=0.667 p(1)=0.333
+	// p(01)=0.500 p(10)=0.500
+}
+
+// ExampleTFLLR shows the Eq. 5 scaling: rare background grams are
+// upweighted relative to frequent ones.
+func ExampleTFLLR() {
+	space := ngram.NewSpace(2, 1)
+	bg := space.Supervector(lattice.FromString([]int{0, 0, 0, 1})) // p(0)=0.75, p(1)=0.25
+	tf := ngram.EstimateTFLLR([]*sparse.Vector{bg}, space.Dim(), 1e-5)
+	v := space.Supervector(lattice.FromString([]int{0, 1}))
+	tf.Apply(v)
+	fmt.Printf("scaled(0)=%.3f scaled(1)=%.3f\n", v.At(0), v.At(1))
+	// Output:
+	// scaled(0)=0.577 scaled(1)=1.000
+}

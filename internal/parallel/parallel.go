@@ -1,0 +1,67 @@
+// Package parallel provides the worker-pool helpers used by the experiment
+// sweeps: deterministic parallel-for over an index range and a bounded
+// task runner. Work items must be independent; determinism comes from
+// writing results into per-index slots rather than sharing accumulators.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs body(i) for i in [0, n) across min(GOMAXPROCS, n) workers and
+// waits for completion. body must not panic; a panic in any worker
+// propagates after all workers stop.
+func For(n int, body func(i int)) {
+	ForWorkers(n, runtime.GOMAXPROCS(0), body)
+}
+
+// ForWorkers is For with an explicit worker count (1 degrades to a serial
+// loop, useful for benchmarking parallel speedups).
+func ForWorkers(n, workers int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicked atomic.Value
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.Store(r)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+}
+
+// Map applies f to every index and collects results in order.
+func Map[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) { out[i] = f(i) })
+	return out
+}

@@ -1,0 +1,67 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	n := 1000
+	seen := make([]atomic.Int32, n)
+	For(n, func(i int) { seen[i].Add(1) })
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, seen[i].Load())
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(i int) { called = true })
+	For(-5, func(i int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+}
+
+func TestForWorkersSerial(t *testing.T) {
+	// With 1 worker, execution is in-order and serial.
+	var order []int
+	ForWorkers(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestForPanicsPropagate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	For(100, func(i int) {
+		if i == 50 {
+			panic("boom")
+		}
+	})
+}
+
+func TestMapOrdered(t *testing.T) {
+	out := Map(100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForParallelSum(t *testing.T) {
+	var sum atomic.Int64
+	For(10000, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 10000*9999/2 {
+		t.Fatalf("sum = %d", got)
+	}
+}

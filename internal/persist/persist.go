@@ -1,0 +1,80 @@
+// Package persist saves and loads trained models with encoding/gob: SVM
+// language models, GMMs (including the UBM and acoustic emissions), TFLLR
+// scalers, phone language models, and fusion backends. A production
+// deployment trains once and scores many times; this package is the
+// boundary between the two.
+package persist
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// magic versions the on-disk format.
+const magic = "repro-model-v1"
+
+// SaveTo writes a model to a writer.
+func SaveTo(w io.Writer, v any) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(magic); err != nil {
+		return fmt.Errorf("persist: header: %w", err)
+	}
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("persist: body: %w", err)
+	}
+	return nil
+}
+
+// LoadFrom reads a model from a reader into v (a pointer).
+func LoadFrom(r io.Reader, v any) error {
+	dec := gob.NewDecoder(r)
+	var got string
+	if err := dec.Decode(&got); err != nil {
+		return fmt.Errorf("persist: header: %w", err)
+	}
+	if got != magic {
+		return fmt.Errorf("persist: bad magic %q (want %q)", got, magic)
+	}
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("persist: body: %w", err)
+	}
+	return nil
+}
+
+// Save writes a model to a file (atomically via a temp file + rename).
+func Save(path string, v any) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := SaveTo(bw, v); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a model from a file into v (a pointer).
+func Load(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadFrom(bufio.NewReader(f), v)
+}

@@ -1,0 +1,275 @@
+// Package phones defines the universal phone inventory the synthetic
+// languages articulate in, and the per-front-end phone sets that the six
+// recognizers decode into.
+//
+// The paper's front-ends each have their own inventory — 43 phones for the
+// BUT Czech recognizer, 59 for Hungarian, 50 for Russian, 47 for the
+// English recognizers (including non-phonetic units: noise, short pause,
+// silence), 64 for Mandarin. Languages, however, draw from a shared
+// articulatory space: a Hungarian recognizer transcribes Farsi speech into
+// *Hungarian* phones. We model this with a universal space of 64 phones
+// carrying articulatory attributes (class, voicing, formant targets used by
+// waveform synthesis) and a deterministic many-to-one mapping from the
+// universal space onto each front-end's inventory that preserves broad
+// class, mimicking how a foreign phone is heard as the recognizer's nearest
+// native phone.
+package phones
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Class is a broad articulatory class.
+type Class int
+
+// Broad articulatory classes. Mapping onto front-end inventories happens
+// within a class: a vowel is always heard as some vowel.
+const (
+	Vowel Class = iota
+	Stop
+	Fricative
+	Nasal
+	Liquid
+	Glide
+	Affricate
+	Silence // also covers short pause and noise units
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Vowel:
+		return "vowel"
+	case Stop:
+		return "stop"
+	case Fricative:
+		return "fricative"
+	case Nasal:
+		return "nasal"
+	case Liquid:
+		return "liquid"
+	case Glide:
+		return "glide"
+	case Affricate:
+		return "affricate"
+	case Silence:
+		return "silence"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Phone is a universal phone with the articulatory attributes the waveform
+// synthesizer and the front-end mapping need.
+type Phone struct {
+	ID     int
+	Symbol string
+	Class  Class
+	Voiced bool
+	// Formant targets in Hz (vowels and sonorants; zero for obstruents,
+	// which are synthesized from shaped noise).
+	F1, F2, F3 float64
+	// Duration model in milliseconds.
+	MeanDurMs, StdDurMs float64
+}
+
+// UniversalSize is the size of the universal phone space.
+const UniversalSize = 64
+
+// Universal returns the fixed 64-phone universal inventory. The inventory
+// is deterministic: vowels populate a formant grid spanning the telephone
+// band; consonants are spread across classes in proportions typical of
+// cross-linguistic inventories (Maddieson's UPSID proportions,
+// approximately).
+func Universal() []Phone {
+	var inv []Phone
+	id := 0
+	add := func(sym string, c Class, voiced bool, f1, f2, f3, durMean, durStd float64) {
+		inv = append(inv, Phone{
+			ID: id, Symbol: sym, Class: c, Voiced: voiced,
+			F1: f1, F2: f2, F3: f3, MeanDurMs: durMean, StdDurMs: durStd,
+		})
+		id++
+	}
+
+	// 18 vowels on a 6×3 F1/F2 grid (F1: height, F2: backness).
+	f1s := []float64{300, 400, 500, 600, 700, 800}
+	f2s := []float64{900, 1500, 2100}
+	v := 0
+	for _, f1 := range f1s {
+		for _, f2 := range f2s {
+			add(fmt.Sprintf("v%02d", v), Vowel, true, f1, f2, 2600, 90, 25)
+			v++
+		}
+	}
+
+	// 12 stops: voiced/voiceless at 6 places (burst loci approximated by
+	// F2 target).
+	places := []float64{700, 1100, 1500, 1800, 2100, 2400}
+	for i, loc := range places {
+		add(fmt.Sprintf("p%02dv", i), Stop, true, 250, loc, 2500, 55, 15)
+		add(fmt.Sprintf("p%02du", i), Stop, false, 0, loc, 0, 60, 15)
+	}
+
+	// 14 fricatives: 7 places, voiced/voiceless.
+	fric := []float64{1000, 1400, 1800, 2200, 2600, 3000, 3400}
+	for i, loc := range fric {
+		add(fmt.Sprintf("f%02dv", i), Fricative, true, 300, loc, 2800, 80, 20)
+		add(fmt.Sprintf("f%02du", i), Fricative, false, 0, loc, 0, 85, 20)
+	}
+
+	// 6 nasals.
+	nas := []float64{900, 1200, 1500, 1800, 2100, 2400}
+	for i, loc := range nas {
+		add(fmt.Sprintf("n%02d", i), Nasal, true, 280, loc, 2300, 70, 18)
+	}
+
+	// 5 liquids.
+	liq := []float64{1000, 1300, 1600, 1900, 2200}
+	for i, loc := range liq {
+		add(fmt.Sprintf("l%02d", i), Liquid, true, 380, loc, 2500, 65, 18)
+	}
+
+	// 4 glides.
+	gli := []float64{800, 1300, 1800, 2300}
+	for i, loc := range gli {
+		add(fmt.Sprintf("g%02d", i), Glide, true, 350, loc, 2400, 60, 15)
+	}
+
+	// 3 affricates.
+	aff := []float64{1600, 2000, 2400}
+	for i, loc := range aff {
+		add(fmt.Sprintf("a%02d", i), Affricate, false, 0, loc, 0, 90, 20)
+	}
+
+	// 2 silence-class units: silence, non-speech noise.
+	add("sil", Silence, false, 0, 0, 0, 150, 60)
+	add("nsn", Silence, false, 0, 1500, 0, 120, 50)
+
+	if len(inv) != UniversalSize {
+		panic(fmt.Sprintf("phones: universal inventory has %d phones, want %d", len(inv), UniversalSize))
+	}
+	return inv
+}
+
+// Set is a front-end phone inventory with its mapping from the universal
+// space.
+type Set struct {
+	Name string
+	// Size is the number of phones in this front-end's inventory.
+	Size int
+	// MapFromUniversal[u] gives the front-end phone index that universal
+	// phone u is perceived as.
+	MapFromUniversal []int
+	// ClassOf[p] is the broad class of front-end phone p (inherited from
+	// the universal phones mapped to it).
+	ClassOf []Class
+}
+
+// NewSet derives a front-end inventory of the given size from the universal
+// space using a deterministic seeded partition that preserves broad class:
+// the universal phones of each class are split into groups proportional to
+// the class's share of the inventory, and each group becomes one front-end
+// phone. size must be between numClasses and UniversalSize.
+func NewSet(name string, size int, seed uint64) *Set {
+	if size < int(numClasses) || size > UniversalSize {
+		panic(fmt.Sprintf("phones: front-end size %d out of range [%d,%d]", size, numClasses, UniversalSize))
+	}
+	inv := Universal()
+	r := rng.New(seed)
+
+	// Group universal phone IDs by class.
+	byClass := make([][]int, numClasses)
+	for _, p := range inv {
+		byClass[p.Class] = append(byClass[p.Class], p.ID)
+	}
+
+	// Allocate front-end phones per class: at least 1, proportional to
+	// class size, never exceeding class size (a class with k universal
+	// phones can distinguish at most k).
+	alloc := make([]int, numClasses)
+	total := 0
+	for c := range alloc {
+		alloc[c] = 1
+		total++
+	}
+	for total < size {
+		// Give the next phone to the class with the highest remaining
+		// universal-to-frontend ratio.
+		best, bestRatio := -1, 0.0
+		for c := range alloc {
+			if alloc[c] >= len(byClass[c]) {
+				continue
+			}
+			ratio := float64(len(byClass[c])) / float64(alloc[c])
+			if ratio > bestRatio {
+				best, bestRatio = c, ratio
+			}
+		}
+		if best < 0 {
+			break
+		}
+		alloc[best]++
+		total++
+	}
+
+	s := &Set{
+		Name:             name,
+		Size:             total,
+		MapFromUniversal: make([]int, UniversalSize),
+		ClassOf:          make([]Class, 0, total),
+	}
+	next := 0
+	for c := Class(0); c < numClasses; c++ {
+		ids := append([]int(nil), byClass[c]...)
+		// Seeded shuffle so each front-end partitions differently — this
+		// is the source of front-end diversity.
+		r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		k := alloc[c]
+		for g := 0; g < k; g++ {
+			// Contiguous chunk of the shuffled ids.
+			lo := g * len(ids) / k
+			hi := (g + 1) * len(ids) / k
+			for _, u := range ids[lo:hi] {
+				s.MapFromUniversal[u] = next
+			}
+			s.ClassOf = append(s.ClassOf, c)
+			next++
+		}
+	}
+	return s
+}
+
+// Map returns the front-end phone for universal phone u.
+func (s *Set) Map(u int) int { return s.MapFromUniversal[u] }
+
+// Validate checks internal invariants, returning the first violation.
+func (s *Set) Validate() error {
+	if len(s.MapFromUniversal) != UniversalSize {
+		return fmt.Errorf("phones: map covers %d universal phones", len(s.MapFromUniversal))
+	}
+	seen := make([]bool, s.Size)
+	for u, p := range s.MapFromUniversal {
+		if p < 0 || p >= s.Size {
+			return fmt.Errorf("phones: universal %d maps to out-of-range %d", u, p)
+		}
+		seen[p] = true
+	}
+	for p, ok := range seen {
+		if !ok {
+			return fmt.Errorf("phones: front-end phone %d unused", p)
+		}
+	}
+	if len(s.ClassOf) != s.Size {
+		return fmt.Errorf("phones: ClassOf has %d entries for %d phones", len(s.ClassOf), s.Size)
+	}
+	inv := Universal()
+	for u, p := range s.MapFromUniversal {
+		if inv[u].Class != s.ClassOf[p] {
+			return fmt.Errorf("phones: universal %d (class %v) mapped across class to %d (%v)",
+				u, inv[u].Class, p, s.ClassOf[p])
+		}
+	}
+	return nil
+}

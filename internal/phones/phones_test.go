@@ -1,0 +1,146 @@
+package phones
+
+import (
+	"testing"
+)
+
+func TestUniversalInventory(t *testing.T) {
+	inv := Universal()
+	if len(inv) != UniversalSize {
+		t.Fatalf("inventory size = %d", len(inv))
+	}
+	symbols := make(map[string]bool)
+	for i, p := range inv {
+		if p.ID != i {
+			t.Fatalf("phone %d has ID %d", i, p.ID)
+		}
+		if symbols[p.Symbol] {
+			t.Fatalf("duplicate symbol %q", p.Symbol)
+		}
+		symbols[p.Symbol] = true
+		if p.MeanDurMs <= 0 {
+			t.Fatalf("phone %s has non-positive duration", p.Symbol)
+		}
+		if p.Class == Vowel && (p.F1 <= 0 || p.F2 <= 0) {
+			t.Fatalf("vowel %s missing formants", p.Symbol)
+		}
+	}
+}
+
+func TestUniversalDeterministic(t *testing.T) {
+	a, b := Universal(), Universal()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Universal() not deterministic at %d", i)
+		}
+	}
+}
+
+func TestUniversalHasAllClasses(t *testing.T) {
+	counts := make(map[Class]int)
+	for _, p := range Universal() {
+		counts[p.Class]++
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if counts[c] == 0 {
+			t.Errorf("no phones of class %v", c)
+		}
+	}
+	if counts[Vowel] != 18 {
+		t.Errorf("vowel count = %d, want 18", counts[Vowel])
+	}
+}
+
+func TestNewSetSizesMatchPaper(t *testing.T) {
+	// The paper's inventories: CZ 43, EN 47, RU 50, HU 59, MA 64.
+	for _, tc := range []struct {
+		name string
+		size int
+	}{
+		{"CZ", 43}, {"EN", 47}, {"RU", 50}, {"HU", 59}, {"MA", 64},
+	} {
+		s := NewSet(tc.name, tc.size, 99)
+		if s.Size != tc.size {
+			t.Errorf("%s: got size %d, want %d", tc.name, s.Size, tc.size)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestNewSetDeterministicPerSeed(t *testing.T) {
+	a := NewSet("X", 47, 5)
+	b := NewSet("X", 47, 5)
+	for u := range a.MapFromUniversal {
+		if a.MapFromUniversal[u] != b.MapFromUniversal[u] {
+			t.Fatal("same seed produced different mappings")
+		}
+	}
+}
+
+func TestNewSetSeedsDiffer(t *testing.T) {
+	a := NewSet("X", 47, 1)
+	b := NewSet("X", 47, 2)
+	diff := 0
+	for u := range a.MapFromUniversal {
+		if a.MapFromUniversal[u] != b.MapFromUniversal[u] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical mappings (no front-end diversity)")
+	}
+}
+
+func TestMapPreservesClass(t *testing.T) {
+	inv := Universal()
+	s := NewSet("HU", 59, 7)
+	for _, p := range inv {
+		fe := s.Map(p.ID)
+		if s.ClassOf[fe] != p.Class {
+			t.Fatalf("phone %s (class %v) mapped to front-end class %v", p.Symbol, p.Class, s.ClassOf[fe])
+		}
+	}
+}
+
+func TestFullSizeSetIsBijective(t *testing.T) {
+	s := NewSet("MA", UniversalSize, 3)
+	seen := make(map[int]bool)
+	for _, p := range s.MapFromUniversal {
+		if seen[p] {
+			t.Fatal("size-64 set is not a bijection")
+		}
+		seen[p] = true
+	}
+}
+
+func TestNewSetPanicsOutOfRange(t *testing.T) {
+	for _, size := range []int{0, 3, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSet accepted size %d", size)
+				}
+			}()
+			NewSet("bad", size, 1)
+		}()
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Vowel.String() != "vowel" || Silence.String() != "silence" {
+		t.Fatal("Class.String wrong")
+	}
+	if Class(99).String() == "" {
+		t.Fatal("unknown class String empty")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := NewSet("X", 43, 1)
+	s.MapFromUniversal[0] = 999
+	if s.Validate() == nil {
+		t.Fatal("Validate accepted out-of-range mapping")
+	}
+}

@@ -1,0 +1,140 @@
+package scorefile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func sample() []Record {
+	return []Record{
+		{System: "baseline", DurationS: 30, Model: "farsi", Segment: "seg1", Truth: "farsi", Score: 1.25},
+		{System: "baseline", DurationS: 30, Model: "hindi", Segment: "seg1", Truth: "farsi", Score: -0.5},
+		{System: "dba", DurationS: 3, Model: "farsi", Segment: "seg2", Truth: "-", Score: 0},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("%d records", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	if _, err := Read(strings.NewReader("foo\tbar\n")); err == nil {
+		t.Fatal("accepted bad header")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("accepted empty input")
+	}
+}
+
+func TestReadRejectsBadLines(t *testing.T) {
+	header := "system\tduration_s\tmodel\tsegment\ttruth\tscore\n"
+	if _, err := Read(strings.NewReader(header + "a\tb\n")); err == nil {
+		t.Fatal("accepted short line")
+	}
+	if _, err := Read(strings.NewReader(header + "s\tx\tm\tseg\tt\t1.0\n")); err == nil {
+		t.Fatal("accepted non-numeric duration")
+	}
+	if _, err := Read(strings.NewReader(header + "s\t30\tm\tseg\tt\tx\n")); err == nil {
+		t.Fatal("accepted non-numeric score")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n\n")
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("%d records", len(got))
+	}
+}
+
+func TestFromScoreMatrix(t *testing.T) {
+	scores := [][]float64{{1, -1}, {0.5, 0.2}}
+	labels := []int{0, 1}
+	names := []string{"farsi", "hindi"}
+	recs := FromScoreMatrix("sys", 10, scores, labels, names, nil)
+	if len(recs) != 4 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Model != "farsi" || recs[0].Truth != "farsi" || recs[0].Score != 1 {
+		t.Fatalf("first record %+v", recs[0])
+	}
+	if recs[3].Model != "hindi" || recs[3].Truth != "hindi" {
+		t.Fatalf("last record %+v", recs[3])
+	}
+	// Unlabeled variant.
+	anon := FromScoreMatrix("sys", 10, scores, nil, names, []string{"a", "b"})
+	if anon[0].Truth != "-" || anon[0].Segment != "a" {
+		t.Fatalf("anon record %+v", anon[0])
+	}
+}
+
+func TestToPairTrialsAndEER(t *testing.T) {
+	// Round trip all the way into the metrics package.
+	scores := [][]float64{{2, -2}, {-2, 2}}
+	labels := []int{0, 1}
+	names := []string{"farsi", "hindi"}
+	recs := FromScoreMatrix("sys", 30, scores, labels, names, nil)
+	idx := map[string]int{"farsi": 0, "hindi": 1}
+	trials, err := ToPairTrials(recs, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 4 {
+		t.Fatalf("%d trials", len(trials))
+	}
+	if eer := metrics.EER(metrics.PairTrialsToDetection(trials)); math.Abs(eer) > 1e-12 {
+		t.Fatalf("EER = %v for perfect scores", eer)
+	}
+}
+
+func TestToPairTrialsUnknownLanguage(t *testing.T) {
+	recs := []Record{{Model: "klingon", Truth: "farsi", Score: 1}}
+	if _, err := ToPairTrials(recs, map[string]int{"farsi": 0}); err == nil {
+		t.Fatal("accepted unknown model language")
+	}
+	recs2 := []Record{{Model: "farsi", Truth: "klingon", Score: 1}}
+	if _, err := ToPairTrials(recs2, map[string]int{"farsi": 0}); err == nil {
+		t.Fatal("accepted unknown truth language")
+	}
+}
+
+func TestToPairTrialsSkipsUnlabeled(t *testing.T) {
+	recs := []Record{
+		{Model: "farsi", Truth: "-", Score: 1},
+		{Model: "farsi", Truth: "farsi", Score: 1},
+	}
+	trials, err := ToPairTrials(recs, map[string]int{"farsi": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 1 {
+		t.Fatalf("%d trials", len(trials))
+	}
+}

@@ -1,0 +1,271 @@
+// Package sparse implements sparse vectors for phonotactic supervectors.
+//
+// A supervector over an N-gram space of dimension F = fⁿ (f phones, order
+// n) is extremely sparse for short utterances — a 3-second utterance emits
+// a few dozen distinct bigrams out of thousands of possible ones — so both
+// SVM training and scoring operate on sorted (index, value) pairs. Dot
+// products between two sparse vectors are linear merges; dot products
+// against dense weight vectors are gathers.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Vector is a sparse vector with strictly increasing indices.
+type Vector struct {
+	Idx []int32
+	Val []float64
+}
+
+// New returns an empty sparse vector with the given capacity hint.
+func New(capacity int) *Vector {
+	return &Vector{
+		Idx: make([]int32, 0, capacity),
+		Val: make([]float64, 0, capacity),
+	}
+}
+
+// FromMap builds a sorted sparse vector from an index→value map, dropping
+// zeros.
+func FromMap(m map[int32]float64) *Vector {
+	v := New(len(m))
+	for i, x := range m {
+		if x != 0 {
+			v.Idx = append(v.Idx, i)
+			v.Val = append(v.Val, x)
+		}
+	}
+	sort.Sort(byIndex{v})
+	return v
+}
+
+// FromDense builds a sparse vector from a dense slice, dropping zeros.
+func FromDense(d []float64) *Vector {
+	v := New(8)
+	for i, x := range d {
+		if x != 0 {
+			v.Idx = append(v.Idx, int32(i))
+			v.Val = append(v.Val, x)
+		}
+	}
+	return v
+}
+
+type byIndex struct{ v *Vector }
+
+func (b byIndex) Len() int           { return len(b.v.Idx) }
+func (b byIndex) Less(i, j int) bool { return b.v.Idx[i] < b.v.Idx[j] }
+func (b byIndex) Swap(i, j int) {
+	b.v.Idx[i], b.v.Idx[j] = b.v.Idx[j], b.v.Idx[i]
+	b.v.Val[i], b.v.Val[j] = b.v.Val[j], b.v.Val[i]
+}
+
+// NNZ returns the number of stored (non-zero) entries.
+func (v *Vector) NNZ() int { return len(v.Idx) }
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	out := &Vector{
+		Idx: make([]int32, len(v.Idx)),
+		Val: make([]float64, len(v.Val)),
+	}
+	copy(out.Idx, v.Idx)
+	copy(out.Val, v.Val)
+	return out
+}
+
+// At returns the value at index i (zero if not stored).
+func (v *Vector) At(i int32) float64 {
+	lo, hi := 0, len(v.Idx)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.Idx[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(v.Idx) && v.Idx[lo] == i {
+		return v.Val[lo]
+	}
+	return 0
+}
+
+// Dot returns the inner product of two sparse vectors via linear merge.
+func Dot(a, b *Vector) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			j++
+		default:
+			s += a.Val[i] * b.Val[j]
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// DotDense returns the inner product of v against a dense weight vector w.
+// Indices beyond len(w) contribute zero.
+func (v *Vector) DotDense(w []float64) float64 {
+	var s float64
+	n := int32(len(w))
+	for k, i := range v.Idx {
+		if i >= n {
+			break
+		}
+		s += v.Val[k] * w[i]
+	}
+	return s
+}
+
+// AxpyDense computes w += alpha·v into the dense vector w.
+func (v *Vector) AxpyDense(alpha float64, w []float64) {
+	n := int32(len(w))
+	for k, i := range v.Idx {
+		if i >= n {
+			break
+		}
+		w[i] += alpha * v.Val[k]
+	}
+}
+
+// Norm2 returns the Euclidean norm.
+func (v *Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v.Val {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of stored values.
+func (v *Vector) Sum() float64 {
+	var s float64
+	for _, x := range v.Val {
+		s += x
+	}
+	return s
+}
+
+// Scale multiplies all stored values by alpha in place.
+func (v *Vector) Scale(alpha float64) {
+	for k := range v.Val {
+		v.Val[k] *= alpha
+	}
+}
+
+// Map applies f to every stored value in place.
+func (v *Vector) Map(f func(idx int32, val float64) float64) {
+	for k := range v.Val {
+		v.Val[k] = f(v.Idx[k], v.Val[k])
+	}
+}
+
+// Add returns a + b as a new sparse vector.
+func Add(a, b *Vector) *Vector {
+	out := New(len(a.Idx) + len(b.Idx))
+	i, j := 0, 0
+	for i < len(a.Idx) || j < len(b.Idx) {
+		switch {
+		case j >= len(b.Idx) || (i < len(a.Idx) && a.Idx[i] < b.Idx[j]):
+			out.Idx = append(out.Idx, a.Idx[i])
+			out.Val = append(out.Val, a.Val[i])
+			i++
+		case i >= len(a.Idx) || b.Idx[j] < a.Idx[i]:
+			out.Idx = append(out.Idx, b.Idx[j])
+			out.Val = append(out.Val, b.Val[j])
+			j++
+		default:
+			s := a.Val[i] + b.Val[j]
+			if s != 0 {
+				out.Idx = append(out.Idx, a.Idx[i])
+				out.Val = append(out.Val, s)
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Accumulator builds supervectors incrementally from (index, weight)
+// observations without requiring sorted insertion. It is the workhorse of
+// expected N-gram counting.
+type Accumulator struct {
+	m map[int32]float64
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{m: make(map[int32]float64)}
+}
+
+// Add accumulates weight w at index i.
+func (a *Accumulator) Add(i int32, w float64) { a.m[i] += w }
+
+// Total returns the sum of all accumulated mass.
+func (a *Accumulator) Total() float64 {
+	var s float64
+	for _, v := range a.m {
+		s += v
+	}
+	return s
+}
+
+// Len returns the number of distinct indices seen.
+func (a *Accumulator) Len() int { return len(a.m) }
+
+// Vector materializes the accumulated contents as a sorted sparse vector.
+func (a *Accumulator) Vector() *Vector { return FromMap(a.m) }
+
+// Normalized materializes the contents scaled to sum to one. An empty
+// accumulator yields an empty vector.
+func (a *Accumulator) Normalized() *Vector {
+	t := a.Total()
+	v := a.Vector()
+	if t > 0 {
+		v.Scale(1 / t)
+	}
+	return v
+}
+
+// String renders the first few entries, for debugging.
+func (v *Vector) String() string {
+	var b strings.Builder
+	b.WriteString("[")
+	for k := 0; k < len(v.Idx) && k < 8; k++ {
+		if k > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%d:%.4g", v.Idx[k], v.Val[k])
+	}
+	if len(v.Idx) > 8 {
+		fmt.Fprintf(&b, " …+%d", len(v.Idx)-8)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Validate checks the strictly-increasing index invariant; it returns an
+// error describing the first violation, or nil.
+func (v *Vector) Validate() error {
+	if len(v.Idx) != len(v.Val) {
+		return fmt.Errorf("sparse: len(Idx)=%d != len(Val)=%d", len(v.Idx), len(v.Val))
+	}
+	for k := 1; k < len(v.Idx); k++ {
+		if v.Idx[k] <= v.Idx[k-1] {
+			return fmt.Errorf("sparse: indices not strictly increasing at %d: %d <= %d", k, v.Idx[k], v.Idx[k-1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package synthlang
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phones"
+	"repro/internal/rng"
+)
+
+func TestGenerateClosedSet(t *testing.T) {
+	langs := Generate(DefaultConfig(), 42)
+	if len(langs) != NumLanguages || NumLanguages != 23 {
+		t.Fatalf("got %d languages, want 23", len(langs))
+	}
+	for i, l := range langs {
+		if l.Index != i {
+			t.Fatalf("language %s has index %d at position %d", l.Name, l.Index, i)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(), 42)
+	b := Generate(DefaultConfig(), 42)
+	for i := range a {
+		for j := range a[i].Initial {
+			if a[i].Initial[j] != b[i].Initial[j] {
+				t.Fatal("same seed produced different languages")
+			}
+		}
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	langs := Generate(DefaultConfig(), 42)
+	byName := map[string]*Language{}
+	for _, l := range langs {
+		byName[l.Name] = l
+	}
+	if byName["bosnian"].Family != "south-slavic" || byName["croatian"].Family != "south-slavic" {
+		t.Fatal("bosnian/croatian not in the same family")
+	}
+	if byName["amharic"].Family != "" {
+		t.Fatal("amharic should have no family")
+	}
+	// Family pairs should be phonotactically closer than unrelated pairs.
+	related := KLDivergence(byName["hindi"], byName["urdu"])
+	unrelated := KLDivergence(byName["hindi"], byName["korean"])
+	if related >= unrelated {
+		t.Fatalf("hindi↔urdu KL (%v) not smaller than hindi↔korean (%v)", related, unrelated)
+	}
+}
+
+func TestLanguagesAreDistinct(t *testing.T) {
+	langs := Generate(DefaultConfig(), 42)
+	for i := 0; i < len(langs); i++ {
+		for j := i + 1; j < len(langs); j++ {
+			if kl := KLDivergence(langs[i], langs[j]); kl < 1e-4 {
+				t.Fatalf("%s and %s nearly identical (KL=%v)", langs[i].Name, langs[j].Name, kl)
+			}
+		}
+	}
+}
+
+func TestSampleDuration(t *testing.T) {
+	langs := Generate(DefaultConfig(), 42)
+	r := rng.New(1)
+	spk := NewSpeaker(r, 0)
+	for _, dur := range []float64{3, 10, 30} {
+		u := langs[0].Sample(r, dur, spk, ChannelCTSClean)
+		total := u.TotalDurMs()
+		if total < dur*1000 {
+			t.Fatalf("%vs utterance realized only %v ms", dur, total)
+		}
+		// One extra phone max overshoot (400 ms · 1.4 rate).
+		if total > dur*1000+600 {
+			t.Fatalf("%vs utterance overshot to %v ms", dur, total)
+		}
+		if u.NominalDurS != dur || u.Language != 0 {
+			t.Fatal("utterance metadata wrong")
+		}
+	}
+}
+
+func TestSampleLongerUtterancesHaveMorePhones(t *testing.T) {
+	langs := Generate(DefaultConfig(), 42)
+	r := rng.New(2)
+	spk := NewSpeaker(r, 0)
+	short := langs[3].Sample(r, 3, spk, ChannelCTSClean)
+	long := langs[3].Sample(r, 30, spk, ChannelCTSClean)
+	if len(long.Segments) < 5*len(short.Segments) {
+		t.Fatalf("30s has %d segments vs 3s %d", len(long.Segments), len(short.Segments))
+	}
+}
+
+func TestSamplePhoneIDsInRange(t *testing.T) {
+	langs := Generate(DefaultConfig(), 42)
+	r := rng.New(3)
+	spk := NewSpeaker(r, 0)
+	u := langs[5].Sample(r, 10, spk, ChannelVOA)
+	for _, id := range u.PhoneIDs() {
+		if id < 0 || id >= phones.UniversalSize {
+			t.Fatalf("phone ID %d out of range", id)
+		}
+	}
+}
+
+func TestSampleReflectsPhonotactics(t *testing.T) {
+	// Empirical bigram counts from many samples of language A should fit
+	// language A's model better than language B's.
+	langs := Generate(DefaultConfig(), 42)
+	r := rng.New(4)
+	a, b := langs[0], langs[10]
+	spk := SpeakerProfile{ID: 0, Rate: 1, SubstitutionProb: 0, PitchHz: 150}
+	var llA, llB float64
+	for trial := 0; trial < 20; trial++ {
+		u := a.Sample(r, 10, spk, ChannelCTSClean)
+		ids := u.PhoneIDs()
+		for k := 1; k < len(ids); k++ {
+			pa := a.Trans[ids[k-1]][ids[k]]
+			pb := b.Trans[ids[k-1]][ids[k]]
+			if pa > 0 && pb > 0 {
+				llA += math.Log(pa)
+				llB += math.Log(pb)
+			}
+		}
+	}
+	if llA <= llB {
+		t.Fatalf("samples from %s scored higher under %s: %v vs %v", a.Name, b.Name, llA, llB)
+	}
+}
+
+func TestSpeakerProfiles(t *testing.T) {
+	r := rng.New(5)
+	for i := 0; i < 200; i++ {
+		s := NewSpeaker(r, i)
+		if s.Rate < 0.7 || s.Rate > 1.4 {
+			t.Fatalf("rate %v out of range", s.Rate)
+		}
+		if s.SubstitutionProb < 0 || s.SubstitutionProb > 0.2 {
+			t.Fatalf("substitution prob %v out of range", s.SubstitutionProb)
+		}
+		if s.PitchHz < 80 || s.PitchHz > 300 {
+			t.Fatalf("pitch %v out of range", s.PitchHz)
+		}
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	if ChannelCTSClean.String() != "cts-clean" || ChannelVOA.String() != "voa" {
+		t.Fatal("Channel.String wrong")
+	}
+}
+
+func TestSilenceMassUniformAcrossLanguages(t *testing.T) {
+	cfg := DefaultConfig()
+	langs := Generate(cfg, 42)
+	inv := phones.Universal()
+	for _, l := range langs {
+		for a := 0; a < phones.UniversalSize; a++ {
+			var sil float64
+			for b := 0; b < phones.UniversalSize; b++ {
+				if inv[b].Class == phones.Silence {
+					sil += l.Trans[a][b]
+				}
+			}
+			if math.Abs(sil-cfg.SilenceProb) > 1e-9 {
+				t.Fatalf("%s row %d silence mass %v, want %v", l.Name, a, sil, cfg.SilenceProb)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBrokenModel(t *testing.T) {
+	l := Generate(DefaultConfig(), 42)[0]
+	l.Trans[0][0] += 0.5
+	if l.Validate() == nil {
+		t.Fatal("Validate accepted non-stochastic row")
+	}
+}

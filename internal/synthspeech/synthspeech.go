@@ -1,0 +1,216 @@
+// Package synthspeech renders synthetic utterances as 8 kHz waveforms
+// using a small formant synthesizer: voiced phones are an impulse train at
+// the speaker's pitch shaped by three second-order resonators at the
+// phone's formant targets; voiceless obstruents are shaped noise; silence
+// is near-silence. Channel conditions add telephone band-limiting and
+// condition-dependent noise.
+//
+// This is the "real acoustic path" of the reproduction: it exists so the
+// full pipeline — waveform → MFCC/PLP → GMM/HMM or MLP decoding → lattice →
+// supervector — can be exercised end-to-end (integration tests, the
+// acousticpath example, and the Table 5 real-time-factor benchmarks),
+// standing in for the telephone audio behind the paper's closed corpora.
+package synthspeech
+
+import (
+	"math"
+
+	"repro/internal/phones"
+	"repro/internal/rng"
+	"repro/internal/synthlang"
+)
+
+// SampleRate is the telephone-band sample rate used throughout.
+const SampleRate = 8000
+
+// resonator is a two-pole IIR bandpass section.
+type resonator struct {
+	b0, a1, a2 float64
+	y1, y2     float64
+}
+
+func newResonator(freqHz, bandwidthHz float64) *resonator {
+	r := math.Exp(-math.Pi * bandwidthHz / SampleRate)
+	theta := 2 * math.Pi * freqHz / SampleRate
+	return &resonator{
+		b0: (1 - r*r) * math.Sin(theta), // unity-ish gain scaling
+		a1: 2 * r * math.Cos(theta),
+		a2: -r * r,
+	}
+}
+
+func (f *resonator) process(x float64) float64 {
+	y := f.b0*x + f.a1*f.y1 + f.a2*f.y2
+	f.y2, f.y1 = f.y1, y
+	return y
+}
+
+// Synthesizer renders utterances to waveforms.
+type Synthesizer struct {
+	inv []phones.Phone
+}
+
+// New returns a synthesizer over the universal inventory.
+func New() *Synthesizer {
+	return &Synthesizer{inv: phones.Universal()}
+}
+
+// Render converts an utterance to samples. The rng drives the noise
+// sources and jitter; rendering is deterministic given the stream.
+func (s *Synthesizer) Render(r *rng.RNG, u *synthlang.Utterance) []float64 {
+	totalSamples := int(u.TotalDurMs() / 1000 * SampleRate)
+	out := make([]float64, 0, totalSamples)
+	pitch := u.Speaker.PitchHz
+	var phase float64
+	for _, seg := range u.Segments {
+		n := int(seg.DurMs / 1000 * SampleRate)
+		p := s.inv[seg.Phone]
+		out = append(out, s.renderPhone(r, p, n, pitch, &phase)...)
+	}
+	applyChannel(r, out, u.Channel)
+	return out
+}
+
+// renderPhone produces n samples for one phone.
+func (s *Synthesizer) renderPhone(r *rng.RNG, p phones.Phone, n int, pitchHz float64, phase *float64) []float64 {
+	buf := make([]float64, n)
+	switch {
+	case p.Class == phones.Silence:
+		for i := range buf {
+			buf[i] = 0.002 * r.Norm()
+		}
+		return buf
+	case p.Voiced && p.F1 > 0:
+		// Glottal impulse train through formant resonators.
+		res := []*resonator{
+			newResonator(p.F1, 90),
+			newResonator(p.F2, 120),
+			newResonator(p.F3, 160),
+		}
+		gains := []float64{1.0, 0.6, 0.25}
+		period := SampleRate / pitchHz
+		for i := range buf {
+			*phase++
+			var src float64
+			if *phase >= period {
+				*phase -= period
+				src = 1
+			}
+			// Slight breathiness.
+			src += 0.02 * r.Norm()
+			var y float64
+			for k, f := range res {
+				y += gains[k] * f.process(src)
+			}
+			buf[i] = y
+		}
+	default:
+		// Voiceless obstruent: noise through a single broad resonator at
+		// the place-of-articulation locus (F2 field carries the locus).
+		loc := p.F2
+		if loc <= 0 {
+			loc = 2000
+		}
+		f := newResonator(loc, 500)
+		for i := range buf {
+			buf[i] = 0.7 * f.process(r.Norm())
+		}
+	}
+	// Amplitude envelope: quick rise/fall to avoid clicks.
+	ramp := n / 10
+	if ramp < 1 {
+		ramp = 1
+	}
+	for i := 0; i < ramp && i < n; i++ {
+		g := float64(i) / float64(ramp)
+		buf[i] *= g
+		buf[n-1-i] *= g
+	}
+	return buf
+}
+
+// applyChannel imposes the recording condition: a telephone band-limit
+// (first-order high-pass at 250 Hz plus resonant low-pass near 3.4 kHz)
+// and condition-dependent additive noise. The VOA condition adds a slow
+// amplitude flutter emulating broadcast audio processing.
+func applyChannel(r *rng.RNG, x []float64, ch synthlang.Channel) {
+	// High-pass (remove DC / sub-telephone band).
+	var prevIn, prevOut float64
+	const hpCoef = 0.95
+	for i, v := range x {
+		out := hpCoef * (prevOut + v - prevIn)
+		prevIn, prevOut = v, out
+		x[i] = out
+	}
+	// Low-pass via resonator near band edge.
+	lp := newResonator(3200, 1200)
+	for i, v := range x {
+		x[i] = 0.5*v + 0.5*lp.process(v)
+	}
+	var noise float64
+	switch ch {
+	case synthlang.ChannelCTSClean:
+		noise = 0.005
+	case synthlang.ChannelCTSNoisy:
+		noise = 0.05
+	case synthlang.ChannelVOA:
+		noise = 0.02
+	}
+	for i := range x {
+		x[i] += noise * r.Norm()
+	}
+	if ch == synthlang.ChannelVOA {
+		// 3 Hz amplitude flutter.
+		for i := range x {
+			x[i] *= 1 + 0.25*math.Sin(2*math.Pi*3*float64(i)/SampleRate)
+		}
+	}
+	normalize(x)
+}
+
+// normalize scales the signal to 0.3 RMS (guards against channel gain
+// differences leaking label information through raw energy).
+func normalize(x []float64) {
+	var e float64
+	for _, v := range x {
+		e += v * v
+	}
+	if e == 0 {
+		return
+	}
+	rms := math.Sqrt(e / float64(len(x)))
+	g := 0.3 / rms
+	for i := range x {
+		x[i] *= g
+	}
+}
+
+// FrameLabels returns the universal phone ID active at each feature frame
+// (10 ms hop, 25 ms window), aligned with feats framing of the rendered
+// waveform. Used as supervision for acoustic-model training.
+func FrameLabels(u *synthlang.Utterance, frameHopMs, frameLenMs float64) []int {
+	totalMs := u.TotalDurMs()
+	numFrames := int((totalMs - frameLenMs) / frameHopMs)
+	if numFrames < 0 {
+		numFrames = 0
+	}
+	labels := make([]int, 0, numFrames+1)
+	segEnd := make([]float64, len(u.Segments))
+	var acc float64
+	for i, s := range u.Segments {
+		acc += s.DurMs
+		segEnd[i] = acc
+	}
+	si := 0
+	for f := 0; ; f++ {
+		center := float64(f)*frameHopMs + frameLenMs/2
+		if center > totalMs || f > numFrames {
+			break
+		}
+		for si < len(segEnd)-1 && center > segEnd[si] {
+			si++
+		}
+		labels = append(labels, u.Segments[si].Phone)
+	}
+	return labels
+}

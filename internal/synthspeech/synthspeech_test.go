@@ -1,0 +1,236 @@
+package synthspeech
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/feats"
+	"repro/internal/phones"
+	"repro/internal/rng"
+	"repro/internal/synthlang"
+)
+
+func sampleUtterance(t *testing.T, seed uint64, durS float64, ch synthlang.Channel) *synthlang.Utterance {
+	t.Helper()
+	langs := synthlang.Generate(synthlang.DefaultConfig(), 42)
+	r := rng.New(seed)
+	spk := synthlang.NewSpeaker(r, 0)
+	return langs[0].Sample(r, durS, spk, ch)
+}
+
+func TestRenderLength(t *testing.T) {
+	u := sampleUtterance(t, 1, 3, synthlang.ChannelCTSClean)
+	s := New()
+	wav := s.Render(rng.New(2), u)
+	wantSamples := u.TotalDurMs() / 1000 * SampleRate
+	if math.Abs(float64(len(wav))-wantSamples) > float64(len(u.Segments)) {
+		t.Fatalf("rendered %d samples, expected ~%v", len(wav), wantSamples)
+	}
+}
+
+func TestRenderFiniteAndNormalized(t *testing.T) {
+	u := sampleUtterance(t, 3, 3, synthlang.ChannelCTSNoisy)
+	wav := New().Render(rng.New(4), u)
+	var e float64
+	for _, v := range wav {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite sample")
+		}
+		e += v * v
+	}
+	rms := math.Sqrt(e / float64(len(wav)))
+	if math.Abs(rms-0.3) > 0.01 {
+		t.Fatalf("RMS = %v, want 0.3", rms)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	u := sampleUtterance(t, 5, 3, synthlang.ChannelCTSClean)
+	a := New().Render(rng.New(7), u)
+	b := New().Render(rng.New(7), u)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("rendering not deterministic")
+		}
+	}
+}
+
+func TestVowelsCarryFormantStructure(t *testing.T) {
+	// Rendering a front vowel vs a back vowel should produce features an
+	// extractor can tell apart. Build single-segment utterances directly.
+	inv := phones.Universal()
+	var frontV, backV int = -1, -1
+	for _, p := range inv {
+		if p.Class == phones.Vowel {
+			if p.F2 >= 2100 && frontV < 0 {
+				frontV = p.ID
+			}
+			if p.F2 <= 900 && backV < 0 {
+				backV = p.ID
+			}
+		}
+	}
+	if frontV < 0 || backV < 0 {
+		t.Fatal("missing test vowels")
+	}
+	mk := func(id int) *synthlang.Utterance {
+		return &synthlang.Utterance{
+			Segments: []synthlang.Segment{{Phone: id, DurMs: 500}},
+			Speaker:  synthlang.SpeakerProfile{Rate: 1, PitchHz: 120},
+			Channel:  synthlang.ChannelCTSClean,
+		}
+	}
+	s := New()
+	e := feats.NewExtractor(feats.DefaultConfig())
+	fa := e.MFCC(s.Render(rng.New(1), mk(frontV)))
+	fb := e.MFCC(s.Render(rng.New(1), mk(backV)))
+	var dist float64
+	mid := len(fa) / 2
+	for j := 1; j < 13; j++ {
+		d := fa[mid][j] - fb[mid][j]
+		dist += d * d
+	}
+	if math.Sqrt(dist) < 0.5 {
+		t.Fatalf("front/back vowels indistinct in MFCC space: %v", math.Sqrt(dist))
+	}
+}
+
+func TestChannelsDiffer(t *testing.T) {
+	u := sampleUtterance(t, 9, 3, synthlang.ChannelCTSClean)
+	clean := New().Render(rng.New(1), u)
+	u.Channel = synthlang.ChannelCTSNoisy
+	noisy := New().Render(rng.New(1), u)
+	// Same underlying phones, different channel → different waveforms.
+	var diff float64
+	n := len(clean)
+	if len(noisy) < n {
+		n = len(noisy)
+	}
+	for i := 0; i < n; i++ {
+		diff += math.Abs(clean[i] - noisy[i])
+	}
+	if diff/float64(n) < 1e-3 {
+		t.Fatal("channel conditions produce near-identical audio")
+	}
+}
+
+func TestFrameLabels(t *testing.T) {
+	u := &synthlang.Utterance{
+		Segments: []synthlang.Segment{
+			{Phone: 3, DurMs: 100},
+			{Phone: 7, DurMs: 200},
+		},
+		Speaker: synthlang.SpeakerProfile{Rate: 1, PitchHz: 120},
+	}
+	labels := FrameLabels(u, 10, 25)
+	if len(labels) == 0 {
+		t.Fatal("no labels")
+	}
+	// Early frames label phone 3, later frames phone 7.
+	if labels[0] != 3 {
+		t.Fatalf("first label %d", labels[0])
+	}
+	if labels[len(labels)-1] != 7 {
+		t.Fatalf("last label %d", labels[len(labels)-1])
+	}
+	// Boundary roughly at 100 ms → frame index ~ (100−12.5)/10 ≈ 8-10.
+	var boundary int
+	for i, l := range labels {
+		if l == 7 {
+			boundary = i
+			break
+		}
+	}
+	if boundary < 7 || boundary > 11 {
+		t.Fatalf("phone boundary at frame %d, want ≈9", boundary)
+	}
+}
+
+func TestFrameLabelCountMatchesFeatureFrames(t *testing.T) {
+	u := sampleUtterance(t, 11, 3, synthlang.ChannelCTSClean)
+	wav := New().Render(rng.New(2), u)
+	e := feats.NewExtractor(feats.DefaultConfig())
+	fr := e.MFCC(wav)
+	labels := FrameLabels(u, 10, 25)
+	// Allow small mismatch from rounding segment durations to samples.
+	if math.Abs(float64(len(fr)-len(labels))) > 3 {
+		t.Fatalf("%d feature frames vs %d labels", len(fr), len(labels))
+	}
+}
+
+func TestSilencePhonesAreQuiet(t *testing.T) {
+	inv := phones.Universal()
+	var sil int = -1
+	for _, p := range inv {
+		if p.Class == phones.Silence {
+			sil = p.ID
+			break
+		}
+	}
+	u := &synthlang.Utterance{
+		Segments: []synthlang.Segment{{Phone: sil, DurMs: 300}},
+		Speaker:  synthlang.SpeakerProfile{Rate: 1, PitchHz: 120},
+		Channel:  synthlang.ChannelCTSClean,
+	}
+	// Render without normalization visibility: compare silence energy to a
+	// vowel's pre-normalization by mixing both in one utterance.
+	var vowel int
+	for _, p := range inv {
+		if p.Class == phones.Vowel {
+			vowel = p.ID
+			break
+		}
+	}
+	u.Segments = append(u.Segments, synthlang.Segment{Phone: vowel, DurMs: 300})
+	wav := New().Render(rng.New(3), u)
+	half := len(wav) / 2
+	var eSil, eVow float64
+	for i := 0; i < half; i++ {
+		eSil += wav[i] * wav[i]
+	}
+	for i := half; i < len(wav); i++ {
+		eVow += wav[i] * wav[i]
+	}
+	if eVow < 5*eSil {
+		t.Fatalf("vowel energy (%v) not ≫ silence energy (%v)", eVow, eSil)
+	}
+}
+
+func TestRenderedPitchMatchesSpeaker(t *testing.T) {
+	// Autocorrelation of a rendered vowel should peak at the speaker's
+	// glottal period.
+	inv := phones.Universal()
+	var vowel int = -1
+	for _, p := range inv {
+		if p.Class == phones.Vowel {
+			vowel = p.ID
+			break
+		}
+	}
+	for _, pitch := range []float64{100, 200} {
+		u := &synthlang.Utterance{
+			Segments: []synthlang.Segment{{Phone: vowel, DurMs: 400}},
+			Speaker:  synthlang.SpeakerProfile{Rate: 1, PitchHz: pitch},
+			Channel:  synthlang.ChannelCTSClean,
+		}
+		wav := New().Render(rng.New(1), u)
+		// Autocorrelation over the steady middle portion.
+		mid := wav[len(wav)/4 : 3*len(wav)/4]
+		period := float64(SampleRate) / pitch
+		lo, hi := int(period*0.85), int(period*1.15)
+		bestLag, bestV := 0, -1.0
+		for lag := int(period * 0.5); lag < int(period*1.6); lag++ {
+			var s float64
+			for i := lag; i < len(mid); i++ {
+				s += mid[i] * mid[i-lag]
+			}
+			if s > bestV {
+				bestV, bestLag = s, lag
+			}
+		}
+		if bestLag < lo || bestLag > hi {
+			t.Fatalf("pitch %v Hz: autocorrelation peak at lag %d, want ≈%.0f",
+				pitch, bestLag, period)
+		}
+	}
+}

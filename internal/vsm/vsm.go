@@ -1,0 +1,142 @@
+// Package vsm implements the vector-space-modeling layer of PPRVSM
+// (paper Section 2.3): per-front-end supervector extraction with TFLLR
+// scaling, one-versus-rest SVM language models (the model matrix M of
+// Eq. 7), and score matrices (F of Eq. 8–9).
+//
+// Extraction is the expensive stage (decoding dominates the paper's cost
+// analysis, Section 5.4), so each (front-end, utterance) pair is decoded
+// exactly once and cached; both the baseline pass and every DBA retraining
+// pass reuse the cached supervectors, which is why DBA's overhead is only
+// the extra SVM training — the property behind the paper's Eq. 19.
+package vsm
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/frontend"
+	"repro/internal/ngram"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+	"repro/internal/svm"
+)
+
+// Features caches one front-end's supervectors for an entire corpus.
+type Features struct {
+	FE *frontend.FrontEnd
+	// TF is nil when TFLLR scaling is disabled (ablation).
+	TF      *ngram.TFLLR
+	vectors map[int]*sparse.Vector
+}
+
+// ExtractOptions controls feature extraction.
+type ExtractOptions struct {
+	Seed uint64
+	// DisableTFLLR turns off background scaling (raw probabilities), for
+	// the ablation bench.
+	DisableTFLLR bool
+	// TFLLRFloor is the background probability floor.
+	TFLLRFloor float64
+}
+
+// Extract decodes every utterance of the corpus through the front-end and
+// builds TFLLR-scaled supervectors. The TFLLR background is estimated from
+// the training split only (no test leakage). Decoding randomness derives
+// from (seed, front-end name, item ID), so extraction is deterministic and
+// order-independent.
+func Extract(fe *frontend.FrontEnd, c *corpus.Corpus, opt ExtractOptions) *Features {
+	if opt.TFLLRFloor <= 0 {
+		opt.TFLLRFloor = 1e-5
+	}
+	root := rng.New(opt.Seed).SplitString("extract:" + fe.Name)
+	f := &Features{FE: fe, vectors: make(map[int]*sparse.Vector)}
+
+	splits := []*corpus.Split{c.Train}
+	for _, dur := range corpus.Durations {
+		splits = append(splits, c.Dev[dur], c.Test[dur])
+	}
+	// Flatten items for parallel decoding.
+	var items []*corpus.Item
+	for _, s := range splits {
+		items = append(items, s.Items...)
+	}
+	vecs := parallel.Map(len(items), func(i int) *sparse.Vector {
+		it := items[i]
+		r := root.Split(uint64(it.ID))
+		return fe.Space.Supervector(fe.Decode(r, it.U))
+	})
+	for i, it := range items {
+		f.vectors[it.ID] = vecs[i]
+	}
+
+	if !opt.DisableTFLLR {
+		trainVecs := make([]*sparse.Vector, 0, c.Train.Len())
+		for _, it := range c.Train.Items {
+			trainVecs = append(trainVecs, f.vectors[it.ID])
+		}
+		f.TF = ngram.EstimateTFLLR(trainVecs, fe.Space.Dim(), opt.TFLLRFloor)
+		for _, v := range f.vectors {
+			f.TF.Apply(v)
+		}
+	}
+	return f
+}
+
+// Vector returns the cached supervector for a corpus item ID.
+func (f *Features) Vector(id int) *sparse.Vector {
+	v, ok := f.vectors[id]
+	if !ok {
+		panic(fmt.Sprintf("vsm: no cached vector for item %d", id))
+	}
+	return v
+}
+
+// Vectors returns the supervectors of a split in item order.
+func (f *Features) Vectors(s *corpus.Split) []*sparse.Vector {
+	out := make([]*sparse.Vector, s.Len())
+	for i, it := range s.Items {
+		out[i] = f.Vector(it.ID)
+	}
+	return out
+}
+
+// Dim returns the supervector dimension of the front-end.
+func (f *Features) Dim() int { return f.FE.Space.Dim() }
+
+// Subsystem is one trained VSM: a front-end's one-vs-rest language models
+// (one row M_q of the paper's model matrix, Eq. 7).
+type Subsystem struct {
+	Name string
+	Dim  int
+	OVR  *svm.OneVsRest
+}
+
+// TrainSubsystem fits the one-vs-rest SVMs on supervectors.
+func TrainSubsystem(name string, xs []*sparse.Vector, labels []int, numLangs, dim int, opt svm.Options) *Subsystem {
+	return &Subsystem{
+		Name: name,
+		Dim:  dim,
+		OVR:  svm.TrainOneVsRest(xs, labels, numLangs, dim, opt),
+	}
+}
+
+// ScoreMatrix scores a set of utterances against all language models,
+// returning the m×K matrix F_q of Eq. 9.
+func (s *Subsystem) ScoreMatrix(xs []*sparse.Vector) [][]float64 {
+	return parallel.Map(len(xs), func(j int) []float64 {
+		return s.OVR.Scores(xs[j])
+	})
+}
+
+// DefaultSVMOptions returns the solver settings used across the
+// experiments: LIBLINEAR-like defaults with the positive class upweighted
+// to counter the 1-vs-22 imbalance.
+func DefaultSVMOptions() svm.Options {
+	opt := svm.DefaultOptions()
+	opt.C = 1
+	opt.PositiveWeight = 4
+	opt.MaxIters = 120
+	opt.Eps = 0.02
+	return opt
+}

@@ -1,0 +1,130 @@
+package vsm
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/frontend"
+	"repro/internal/sparse"
+)
+
+func tinyCorpus() *corpus.Corpus {
+	cfg := corpus.TinyConfig()
+	cfg.TrainPerLang = 4
+	cfg.DevPerLang = 2
+	cfg.TestPerLang = 2
+	return corpus.Build(cfg)
+}
+
+func TestExtractCoversAllSplits(t *testing.T) {
+	c := tinyCorpus()
+	fe := frontend.New("CZ", frontend.ANNHMM, 43, 5)
+	f := Extract(fe, c, ExtractOptions{Seed: 7})
+	splits := []*corpus.Split{c.Train, c.AllDev(), c.AllTest()}
+	for _, s := range splits {
+		vecs := f.Vectors(s)
+		if len(vecs) != s.Len() {
+			t.Fatalf("%s: %d vectors for %d items", s.Name, len(vecs), s.Len())
+		}
+		for i, v := range vecs {
+			if v == nil || v.NNZ() == 0 {
+				t.Fatalf("%s item %d has empty supervector", s.Name, i)
+			}
+			if err := v.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if f.Dim() != fe.Space.Dim() {
+		t.Fatal("Dim mismatch")
+	}
+	if f.TF == nil {
+		t.Fatal("TFLLR not estimated")
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	c := tinyCorpus()
+	fe := frontend.New("CZ", frontend.ANNHMM, 43, 5)
+	a := Extract(fe, c, ExtractOptions{Seed: 7})
+	b := Extract(fe, c, ExtractOptions{Seed: 7})
+	it := c.Train.Items[0]
+	va, vb := a.Vector(it.ID), b.Vector(it.ID)
+	if va.NNZ() != vb.NNZ() {
+		t.Fatal("extraction not deterministic")
+	}
+	for k := range va.Idx {
+		if va.Idx[k] != vb.Idx[k] || va.Val[k] != vb.Val[k] {
+			t.Fatal("extraction not deterministic")
+		}
+	}
+}
+
+func TestExtractTFLLRChangesScaling(t *testing.T) {
+	c := tinyCorpus()
+	fe := frontend.New("CZ", frontend.ANNHMM, 43, 5)
+	with := Extract(fe, c, ExtractOptions{Seed: 7})
+	without := Extract(fe, c, ExtractOptions{Seed: 7, DisableTFLLR: true})
+	if without.TF != nil {
+		t.Fatal("TF estimated despite DisableTFLLR")
+	}
+	it := c.Train.Items[0]
+	vw, vr := with.Vector(it.ID), without.Vector(it.ID)
+	diff := false
+	for k := range vw.Val {
+		if vw.Val[k] != vr.Val[k] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("TFLLR scaling had no effect")
+	}
+}
+
+func TestVectorPanicsOnUnknownID(t *testing.T) {
+	c := tinyCorpus()
+	fe := frontend.New("CZ", frontend.ANNHMM, 43, 5)
+	f := Extract(fe, c, ExtractOptions{Seed: 7})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Vector accepted unknown ID")
+		}
+	}()
+	f.Vector(99999999)
+}
+
+func TestTrainSubsystemAndScoreMatrix(t *testing.T) {
+	c := tinyCorpus()
+	fe := frontend.New("CZ", frontend.ANNHMM, 43, 5)
+	f := Extract(fe, c, ExtractOptions{Seed: 7})
+	trainX := f.Vectors(c.Train)
+	sub := TrainSubsystem(fe.Name, trainX, c.Train.Labels(), 23, f.Dim(), DefaultSVMOptions())
+	if sub.OVR.NumClasses != 23 {
+		t.Fatalf("NumClasses = %d", sub.OVR.NumClasses)
+	}
+	testX := f.Vectors(c.Test[30])
+	mat := sub.ScoreMatrix(testX)
+	if len(mat) != len(testX) || len(mat[0]) != 23 {
+		t.Fatal("score matrix shape wrong")
+	}
+	// Training accuracy should be far above 1/23 chance.
+	if acc := sub.OVR.Accuracy(trainX, c.Train.Labels()); acc < 0.5 {
+		t.Fatalf("training accuracy %v", acc)
+	}
+}
+
+func TestScoreMatrixMatchesDirectScores(t *testing.T) {
+	c := tinyCorpus()
+	fe := frontend.New("CZ", frontend.ANNHMM, 43, 5)
+	f := Extract(fe, c, ExtractOptions{Seed: 7})
+	sub := TrainSubsystem(fe.Name, f.Vectors(c.Train), c.Train.Labels(), 23, f.Dim(), DefaultSVMOptions())
+	xs := []*sparse.Vector{f.Vectors(c.Test[10])[0]}
+	mat := sub.ScoreMatrix(xs)
+	direct := sub.OVR.Scores(xs[0])
+	for k := range direct {
+		if mat[0][k] != direct[k] {
+			t.Fatal("ScoreMatrix disagrees with direct scoring")
+		}
+	}
+}

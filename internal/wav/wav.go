@@ -1,0 +1,150 @@
+// Package wav reads and writes mono 16-bit PCM RIFF/WAVE files, so the
+// synthetic telephone speech can be exported for listening or external
+// processing, and externally recorded audio can be fed into the acoustic
+// front-ends. Only the canonical 44-byte-header PCM layout is produced;
+// the reader additionally tolerates extra chunks (LIST, fact, …) commonly
+// emitted by other tools.
+package wav
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Write encodes samples in [−1, 1] as 16-bit PCM mono at the given rate.
+// Samples outside [−1, 1] are clipped.
+func Write(w io.Writer, samples []float64, sampleRate int) error {
+	if sampleRate <= 0 {
+		return fmt.Errorf("wav: invalid sample rate %d", sampleRate)
+	}
+	dataLen := uint32(len(samples) * 2)
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], 36+dataLen)
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16)
+	binary.LittleEndian.PutUint16(hdr[20:22], 1) // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], 1) // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(sampleRate))
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(sampleRate*2)) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)                    // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)                   // bits
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], dataLen)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*len(samples))
+	for i, s := range samples {
+		if s > 1 {
+			s = 1
+		}
+		if s < -1 {
+			s = -1
+		}
+		v := int16(math.Round(s * 32767))
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// WriteFile writes a WAV file.
+func WriteFile(path string, samples []float64, sampleRate int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, samples, sampleRate); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes a mono 16-bit PCM WAV stream, returning samples scaled to
+// [−1, 1] and the sample rate.
+func Read(r io.Reader) (samples []float64, sampleRate int, err error) {
+	var riff [12]byte
+	if _, err := io.ReadFull(r, riff[:]); err != nil {
+		return nil, 0, fmt.Errorf("wav: header: %w", err)
+	}
+	if string(riff[0:4]) != "RIFF" || string(riff[8:12]) != "WAVE" {
+		return nil, 0, fmt.Errorf("wav: not a RIFF/WAVE stream")
+	}
+	var (
+		fmtSeen  bool
+		channels uint16
+		bits     uint16
+	)
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF && fmtSeen {
+				return nil, 0, fmt.Errorf("wav: missing data chunk")
+			}
+			return nil, 0, fmt.Errorf("wav: chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		switch id {
+		case "fmt ":
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, 0, fmt.Errorf("wav: fmt chunk: %w", err)
+			}
+			format := binary.LittleEndian.Uint16(body[0:2])
+			channels = binary.LittleEndian.Uint16(body[2:4])
+			sampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bits = binary.LittleEndian.Uint16(body[14:16])
+			if format != 1 {
+				return nil, 0, fmt.Errorf("wav: unsupported format %d (want PCM)", format)
+			}
+			if channels != 1 {
+				return nil, 0, fmt.Errorf("wav: %d channels (want mono)", channels)
+			}
+			if bits != 16 {
+				return nil, 0, fmt.Errorf("wav: %d-bit samples (want 16)", bits)
+			}
+			fmtSeen = true
+		case "data":
+			if !fmtSeen {
+				return nil, 0, fmt.Errorf("wav: data chunk before fmt")
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, 0, fmt.Errorf("wav: data chunk: %w", err)
+			}
+			n := int(size) / 2
+			samples = make([]float64, n)
+			for i := 0; i < n; i++ {
+				v := int16(binary.LittleEndian.Uint16(body[2*i:]))
+				samples[i] = float64(v) / 32767
+			}
+			return samples, sampleRate, nil
+		default:
+			// Skip unknown chunks (word-aligned).
+			skip := int64(size)
+			if skip%2 == 1 {
+				skip++
+			}
+			if _, err := io.CopyN(io.Discard, r, skip); err != nil {
+				return nil, 0, fmt.Errorf("wav: skipping %q chunk: %w", id, err)
+			}
+		}
+	}
+}
+
+// ReadFile reads a WAV file.
+func ReadFile(path string) ([]float64, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return Read(f)
+}
