@@ -12,6 +12,13 @@
 //	lre -fig 3                                # DET curve points
 //	lre -ablation vote                        # vote-criterion ablation
 //
+// Observability (internal/obs) outputs:
+//
+//	lre -table 5 -trace-out trace.json        # per-stage span tree
+//	lre -metrics-out metrics.json             # counters/gauges/histograms
+//	lre -report-out BENCH_obs.json            # trace + metrics + run meta
+//	lre -pprof-cpu cpu.out -pprof-mem mem.out # stdlib pprof profiles
+//
 // The pipeline (corpus generation, decoding, supervector extraction,
 // baseline training) is built once and shared by all requested outputs.
 package main
@@ -21,12 +28,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/dba"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/scorefile"
 	"repro/internal/synthlang"
 )
@@ -35,19 +46,36 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lre: ")
 	var (
-		scaleFlag = flag.String("scale", "small", "corpus scale: tiny|small|medium|full")
-		seed      = flag.Uint64("seed", 42, "experiment seed")
-		table     = flag.String("table", "", "table to regenerate: 1|2|3|4|5|all")
-		fig       = flag.String("fig", "", "figure to regenerate: 3")
-		vFlag     = flag.Int("V", 3, "vote threshold for Table 4 / Fig. 3")
-		ablation  = flag.String("ablation", "", "ablation to run: vote|fa")
-		iterate   = flag.Int("iterate", 0, "run N-round iterated DBA (extension; 0 = off)")
-		openset   = flag.Int("openset", 0, "evaluate open-set condition with N out-of-set languages (extension; 0 = off)")
-		scoresOut = flag.String("scores", "", "write LRE-style score files for the baseline subsystems to this path")
+		scaleFlag  = flag.String("scale", "small", "corpus scale: tiny|small|medium|full")
+		seed       = flag.Uint64("seed", 42, "experiment seed")
+		table      = flag.String("table", "", "table to regenerate: 1|2|3|4|5|all")
+		fig        = flag.String("fig", "", "figure to regenerate: 3")
+		vFlag      = flag.Int("V", 3, "vote threshold for Table 4 / Fig. 3")
+		ablation   = flag.String("ablation", "", "ablation to run: vote|fa")
+		iterate    = flag.Int("iterate", 0, "run N-round iterated DBA (extension; 0 = off)")
+		openset    = flag.Int("openset", 0, "evaluate open-set condition with N out-of-set languages (extension; 0 = off)")
+		scoresOut  = flag.String("scores", "", "write LRE-style score files for the baseline subsystems to this path")
+		traceOut   = flag.String("trace-out", "", "write the span trace (per-stage wall times) as JSON to this path")
+		metricsOut = flag.String("metrics-out", "", "write counters/gauges/latency histograms as JSON to this path")
+		reportOut  = flag.String("report-out", "", "write the full run report (trace + metrics + meta) as JSON to this path")
+		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this path")
+		pprofMem   = flag.String("pprof-mem", "", "write a heap profile at end of run to this path")
 	)
 	flag.Parse()
 	if *table == "" && *fig == "" && *ablation == "" {
 		*table = "all"
+	}
+
+	if *pprofCPU != "" {
+		f, err := os.Create(*pprofCPU)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	scale, err := experiments.ParseScale(*scaleFlag)
@@ -119,6 +147,56 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote score file %s", *scoresOut)
+	}
+
+	if *traceOut != "" || *metricsOut != "" || *reportOut != "" {
+		rep := obs.Snapshot()
+		rep.Meta = map[string]string{
+			"scale":      scale.String(),
+			"seed":       strconv.FormatUint(*seed, 10),
+			"table":      *table,
+			"fig":        *fig,
+			"go":         runtime.Version(),
+			"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		}
+		writeJSON := func(path string, r *obs.Report, what string) {
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s %s", what, path)
+		}
+		if *traceOut != "" {
+			writeJSON(*traceOut, rep.SpansOnly(), "trace")
+		}
+		if *metricsOut != "" {
+			writeJSON(*metricsOut, rep.MetricsOnly(), "metrics")
+		}
+		if *reportOut != "" {
+			writeJSON(*reportOut, rep, "run report")
+		}
+	}
+
+	if *pprofMem != "" {
+		f, err := os.Create(*pprofMem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote heap profile %s", *pprofMem)
 	}
 }
 

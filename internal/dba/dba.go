@@ -26,6 +26,7 @@ package dba
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
 	"repro/internal/svm"
@@ -151,6 +152,10 @@ type Config struct {
 	Method     Method
 	NumLangs   int
 	SVMOptions svm.Options
+	// Span, when non-nil, nests the run's trace under a caller span
+	// (RunIterative's per-round spans use this); nil makes the run a trace
+	// root of its own.
+	Span *obs.Span
 }
 
 // Outcome is the result of one DBA pass.
@@ -185,9 +190,11 @@ func ScoreAll(models []*svm.OneVsRest, data []*SubsystemData) [][][]float64 {
 	for q, mdl := range models {
 		test := data[q].Test
 		m := mdl
-		out[q] = parallel.Map(len(test), func(j int) []float64 {
-			return m.Scores(test[j])
+		scores := make([][]float64, len(test))
+		parallel.ForPool("score", len(test), func(j int) {
+			scores[j] = m.Scores(test[j])
 		})
+		out[q] = scores
 	}
 	return out
 }
@@ -215,8 +222,23 @@ func BuildTrainingSet(d *SubsystemData, trainLabels []int, sel []Hypothesis, met
 func Run(data []*SubsystemData, trainLabels []int, baseline []*svm.OneVsRest,
 	baselineScores [][][]float64, cfg Config) *Outcome {
 
+	sp := obs.ChildOf(cfg.Span, "dba.run")
+	defer sp.End()
+	sp.SetLabel("method", cfg.Method.String())
+	sp.SetAttr("threshold", float64(cfg.Threshold))
+
+	voteSp := sp.StartChild("vote")
 	votes := CountVotes(baselineScores)
 	sel := Select(votes, cfg.Threshold)
+	voteSp.SetAttr("selected", float64(len(sel)))
+	voteSp.End()
+	// Accept/reject accounting: a candidate is one test utterance per pass.
+	if m := len(votes); m > 0 {
+		obs.Add("dba.select.accepted", int64(len(sel)))
+		obs.Add("dba.select.rejected", int64(m-len(sel)))
+	}
+	sp.SetAttr("selected", float64(len(sel)))
+
 	o := &Outcome{
 		BaselineScores: baselineScores,
 		Votes:          votes,
@@ -231,13 +253,19 @@ func Run(data []*SubsystemData, trainLabels []int, baseline []*svm.OneVsRest,
 		o.Scores = baselineScores
 		return o
 	}
+	retrainSp := sp.StartChild("retrain")
 	for q, d := range data {
 		xs, ys := BuildTrainingSet(d, trainLabels, sel, cfg.Method)
 		qopt := cfg.SVMOptions
 		qopt.Seed = cfg.SVMOptions.Seed + 7_000_003 + uint64(q)*104729
 		o.Retrained[q] = svm.TrainOneVsRest(xs, ys, cfg.NumLangs, d.Dim, qopt)
 	}
+	retrainSp.SetAttr("subsystems", float64(len(data)))
+	retrainSp.End()
+
+	rescoreSp := sp.StartChild("rescore")
 	o.Scores = ScoreAll(o.Retrained, data)
+	rescoreSp.End()
 	return o
 }
 

@@ -1,6 +1,9 @@
 package dba
 
 import (
+	"fmt"
+
+	"repro/internal/obs"
 	"repro/internal/svm"
 )
 
@@ -48,12 +51,23 @@ func RunIterative(data []*SubsystemData, trainLabels []int, baseline []*svm.OneV
 	if cfg.Rounds < 1 {
 		cfg.Rounds = 1
 	}
+	iterSp := obs.ChildOf(cfg.Span, "dba.iterate")
+	defer iterSp.End()
+	iterSp.SetLabel("method", cfg.Method.String())
+	iterSp.SetAttr("max_rounds", float64(cfg.Rounds))
+
 	out := &IterativeOutcome{}
 	models := baseline
 	voteScores := baselineScores
 	var prev []Hypothesis
 	for round := 1; round <= cfg.Rounds; round++ {
-		o := Run(data, trainLabels, models, voteScores, cfg.Config)
+		roundSp := iterSp.StartChild(fmt.Sprintf("dba.round-%d", round))
+		roundCfg := cfg.Config
+		roundCfg.Span = roundSp
+		o := Run(data, trainLabels, models, voteScores, roundCfg)
+		roundSp.SetAttr("selected", float64(len(o.Selected)))
+		roundSp.End()
+		obs.Inc("dba.rounds")
 		out.Rounds = append(out.Rounds, RoundResult{
 			Round:    round,
 			Selected: o.Selected,
@@ -73,6 +87,7 @@ func RunIterative(data []*SubsystemData, trainLabels []int, baseline []*svm.OneV
 		}
 	}
 	out.Models = models
+	iterSp.SetAttr("rounds", float64(len(out.Rounds)))
 	return out
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dba"
 	"repro/internal/fusion"
+	"repro/internal/obs"
 )
 
 var (
@@ -313,5 +315,24 @@ func TestTable5(t *testing.T) {
 	}
 	if !strings.Contains(t5.String(), "Table 5") {
 		t.Error("Table 5 renderer broken")
+	}
+
+	// The obs trace and the printed table must be the same measurement:
+	// the decode RTF reconstructed from the span equals the table's value.
+	rep := obs.Snapshot()
+	sp := rep.Find("table5")
+	if sp == nil {
+		t.Fatal("no table5 span in the trace")
+	}
+	for _, name := range []string{"decode", "supervector-gen", "svm-score", "dba", "dba.round-1"} {
+		if sp.Find(name) == nil {
+			t.Errorf("trace missing stage span %q", name)
+		}
+	}
+	dec := sp.Find("decode")
+	derived := dec.DurationSec / dec.Attrs["audio_seconds"]
+	if math.Abs(derived-pp.Decode) > 1e-12 || math.Abs(dec.Attrs["rtf"]-pp.Decode) > 1e-12 {
+		t.Errorf("trace decode RTF %g / attr %g disagree with table %g",
+			derived, dec.Attrs["rtf"], pp.Decode)
 	}
 }

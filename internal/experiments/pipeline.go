@@ -15,6 +15,7 @@ import (
 	"repro/internal/dba"
 	"repro/internal/frontend"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/svm"
 	"repro/internal/synthlang"
@@ -131,6 +132,11 @@ const NumLangs = synthlang.NumLanguages
 // BuildPipeline generates the corpus, extracts supervectors for all six
 // front-ends, and trains the baseline subsystems.
 func BuildPipeline(scale Scale, seed uint64) *Pipeline {
+	sp := obs.StartSpan("pipeline.build")
+	defer sp.End()
+	sp.SetLabel("scale", scale.String())
+	sp.SetAttr("seed", float64(seed))
+
 	p := &Pipeline{
 		Scale:      scale,
 		Seed:       seed,
@@ -140,13 +146,24 @@ func BuildPipeline(scale Scale, seed uint64) *Pipeline {
 		DevIdx:     make(map[float64][]int),
 	}
 	p.SVMOptions.Seed = seed
+	corpusSp := sp.StartChild("corpus")
 	p.Corpus = corpus.Build(CorpusConfig(scale, seed))
+	corpusSp.SetAttr("train", float64(p.Corpus.Train.Len()))
+	corpusSp.End()
 	p.FEs = frontend.StandardSix(seed)
 
+	// Supervector extraction decodes every utterance through every
+	// front-end — the pipeline's dominant cost. Each front-end gets its own
+	// child span (they extract concurrently, so siblings overlap in time).
+	extractSp := sp.StartChild("extract")
 	p.Feats = make([]*vsm.Features, len(p.FEs))
 	parallel.For(len(p.FEs), func(q int) {
+		feSp := extractSp.StartChild("extract." + p.FEs[q].Name)
 		p.Feats[q] = vsm.Extract(p.FEs[q], p.Corpus, vsm.ExtractOptions{Seed: seed})
+		feSp.SetAttr("dim", float64(p.Feats[q].Dim()))
+		feSp.End()
 	})
+	extractSp.End()
 
 	pooled := p.Corpus.AllTest()
 	p.TrainLabels = p.Corpus.Train.Labels()
@@ -182,9 +199,16 @@ func BuildPipeline(scale Scale, seed uint64) *Pipeline {
 		}
 	}
 
+	trainSp := sp.StartChild("train-baseline")
 	p.Baseline = dba.TrainBaseline(p.Data, p.TrainLabels, NumLangs, p.SVMOptions)
+	trainSp.SetAttr("subsystems", float64(len(p.Data)))
+	trainSp.End()
+	scoreSp := sp.StartChild("score-baseline")
 	p.BaselineScores = dba.ScoreAll(p.Baseline, p.Data)
+	scoreSp.End()
+	devSp := sp.StartChild("dev-score")
 	p.BaselineDev = p.DevScores(p.Baseline)
+	devSp.End()
 
 	// Vote calibration: the Eq. 13 criterion (target > 0, all others < 0)
 	// needs each language model's zero to sit at a sensible detection
@@ -196,7 +220,9 @@ func BuildPipeline(scale Scale, seed uint64) *Pipeline {
 	// toward the subsystem-pooled threshold when the dev set is small. The
 	// calibrated copy drives voting only — EER/Cavg are computed from the
 	// unshifted scores, keeping evaluation and selection concerns separate.
+	calSp := sp.StartChild("vote-calibrate")
 	p.VoteScores = p.calibratedVoteScores()
+	calSp.End()
 	return p
 }
 

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestScaleRoundTrip pins String/ParseScale as exact inverses over every
+// defined scale, plus the error paths.
+func TestScaleRoundTrip(t *testing.T) {
+	scales := []Scale{ScaleTiny, ScaleSmall, ScaleMedium, ScaleFull}
+	names := []string{"tiny", "small", "medium", "full"}
+	for i, s := range scales {
+		if got := s.String(); got != names[i] {
+			t.Errorf("Scale(%d).String() = %q, want %q", int(s), got, names[i])
+		}
+		back, err := ParseScale(s.String())
+		if err != nil {
+			t.Errorf("ParseScale(%q) failed: %v", s.String(), err)
+		}
+		if back != s {
+			t.Errorf("round trip broke: %v → %q → %v", s, s.String(), back)
+		}
+	}
+	for _, bad := range []string{"", "TINY", "huge", "tiny "} {
+		if _, err := ParseScale(bad); err == nil {
+			t.Errorf("ParseScale(%q) accepted an unknown scale", bad)
+		}
+	}
+	// Out-of-range values must still render something stable.
+	if got := Scale(99).String(); got != "Scale(99)" {
+		t.Errorf("unknown scale renders %q", got)
+	}
+}

@@ -285,6 +285,7 @@ func (a *AcousticFrontEnd) DecodeAudio(wav []float64) *lattice.Lattice {
 // DecodeFrames decodes pre-extracted feature frames.
 func (a *AcousticFrontEnd) DecodeFrames(frames [][]float64) *lattice.Lattice {
 	segs := a.model.Decode(frames)
+	obsDecodedUtts.Inc()
 	if len(segs) == 0 {
 		// Guarantee a non-empty lattice for degenerate inputs.
 		return lattice.FromString([]int{0})
@@ -304,7 +305,9 @@ func (a *AcousticFrontEnd) DecodeFrames(frames [][]float64) *lattice.Lattice {
 		}
 		slots[i] = slot
 	}
-	return lattice.FromSausage(slots)
+	l := lattice.FromSausage(slots)
+	obsLatticeArcs.Add(int64(l.NumEdges()))
+	return l
 }
 
 // Decode renders the utterance to audio and decodes it — the full

@@ -27,10 +27,19 @@ import (
 
 	"repro/internal/lattice"
 	"repro/internal/ngram"
+	"repro/internal/obs"
 	"repro/internal/phones"
 	"repro/internal/rng"
 	"repro/internal/sparse"
 	"repro/internal/synthlang"
+)
+
+// Decode-work counters shared by the simulated and acoustic decoders:
+// utterances decoded and lattice arcs emitted (the size of the decoding
+// output that the supervector stage consumes).
+var (
+	obsDecodedUtts = obs.GetCounter("decode.utterances")
+	obsLatticeArcs = obs.GetCounter("decode.lattice_arcs")
 )
 
 // Kind is the acoustic model family of a front-end.
@@ -289,7 +298,10 @@ func (f *FrontEnd) Decode(r *rng.RNG, u *synthlang.Utterance) *lattice.Lattice {
 		fePhone := f.Set.Map(u.Segments[0].Phone)
 		slots = append(slots, lattice.SausageSlot{{Phone: fePhone, Prob: 1}})
 	}
-	return lattice.FromSausage(slots)
+	l := lattice.FromSausage(slots)
+	obsDecodedUtts.Inc()
+	obsLatticeArcs.Add(int64(l.NumEdges()))
+	return l
 }
 
 // Supervector decodes and converts to the per-order-normalized phonotactic

@@ -2,12 +2,19 @@
 // sweeps: deterministic parallel-for over an index range and a bounded
 // task runner. Work items must be independent; determinism comes from
 // writing results into per-index slots rather than sharing accumulators.
+//
+// The ForPool variants additionally record per-worker busy time and task
+// counts into the obs registry, making worker utilization and stragglers
+// visible in run reports.
 package parallel
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // For runs body(i) for i in [0, n) across min(GOMAXPROCS, n) workers and
@@ -34,14 +41,17 @@ func ForWorkers(n, workers int, body func(i int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	var panicked atomic.Value
+	// The first panicking worker wins deterministically (sync.Once);
+	// remaining workers drain and their panics are dropped.
+	var panicOnce sync.Once
+	var panicVal any
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panicked.Store(r)
+					panicOnce.Do(func() { panicVal = r })
 				}
 			}()
 			for {
@@ -54,8 +64,8 @@ func ForWorkers(n, workers int, body func(i int)) {
 		}()
 	}
 	wg.Wait()
-	if p := panicked.Load(); p != nil {
-		panic(p)
+	if panicVal != nil {
+		panic(panicVal)
 	}
 }
 
@@ -64,4 +74,114 @@ func Map[T any](n int, f func(i int) T) []T {
 	out := make([]T, n)
 	For(n, func(i int) { out[i] = f(i) })
 	return out
+}
+
+// Stats summarizes one instrumented pool run.
+type Stats struct {
+	Workers int
+	// Tasks[w] and Busy[w] are worker w's completed task count and summed
+	// task wall time.
+	Tasks []int64
+	Busy  []time.Duration
+	// Elapsed is the pool's end-to-end wall time.
+	Elapsed time.Duration
+}
+
+// TotalTasks sums the per-worker task counts.
+func (s Stats) TotalTasks() int64 {
+	var t int64
+	for _, v := range s.Tasks {
+		t += v
+	}
+	return t
+}
+
+// TotalBusy sums the per-worker busy time.
+func (s Stats) TotalBusy() time.Duration {
+	var t time.Duration
+	for _, v := range s.Busy {
+		t += v
+	}
+	return t
+}
+
+// Utilization is the fraction of worker-seconds spent in the body
+// (1 = every worker busy the whole run; low values mean tail latency or
+// contention).
+func (s Stats) Utilization() float64 {
+	if s.Workers == 0 || s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.TotalBusy()) / (float64(s.Workers) * float64(s.Elapsed))
+}
+
+// StragglerRatio is max(worker busy) / mean(worker busy); 1 means a
+// perfectly balanced pool, large values mean one worker dominated the run
+// (typically one oversized task).
+func (s Stats) StragglerRatio() float64 {
+	busy := s.TotalBusy()
+	if s.Workers == 0 || busy <= 0 {
+		return 0
+	}
+	var max time.Duration
+	for _, v := range s.Busy {
+		if v > max {
+			max = v
+		}
+	}
+	mean := float64(busy) / float64(s.Workers)
+	return float64(max) / mean
+}
+
+// ForPool is For with per-worker instrumentation: each task is timed, and
+// the pool's totals are recorded under the pool name in the obs default
+// registry — counter "pool.<name>.tasks", histogram
+// "pool.<name>.task_seconds", and gauges "pool.<name>.utilization" /
+// "pool.<name>.straggler_ratio" (last run wins). The stats are also
+// returned for direct inspection.
+func ForPool(name string, n int, body func(i int)) Stats {
+	return ForPoolWorkers(name, n, runtime.GOMAXPROCS(0), body)
+}
+
+// ForPoolWorkers is ForPool with an explicit worker count.
+func ForPoolWorkers(name string, n, workers int, body func(i int)) Stats {
+	if n <= 0 {
+		return Stats{}
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	st := Stats{
+		Workers: workers,
+		Tasks:   make([]int64, workers),
+		Busy:    make([]time.Duration, workers),
+	}
+	hist := obs.GetHistogram("pool." + name + ".task_seconds")
+	var next atomic.Int64
+	start := time.Now()
+	// Each outer index is one worker; tasks are claimed from the shared
+	// cursor exactly as in ForWorkers, but timed per task.
+	ForWorkers(workers, workers, func(w int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			t0 := time.Now()
+			body(i)
+			d := time.Since(t0)
+			st.Tasks[w]++
+			st.Busy[w] += d
+			hist.Observe(d.Seconds())
+		}
+	})
+	st.Elapsed = time.Since(start)
+	obs.Add("pool."+name+".tasks", st.TotalTasks())
+	obs.Add("pool."+name+".busy_ns", int64(st.TotalBusy()))
+	obs.SetGauge("pool."+name+".utilization", st.Utilization())
+	obs.SetGauge("pool."+name+".straggler_ratio", st.StragglerRatio())
+	return st
 }

@@ -1,8 +1,12 @@
 package parallel
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 func TestForCoversAllIndices(t *testing.T) {
@@ -47,6 +51,123 @@ func TestForPanicsPropagate(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+// TestForFirstPanicWins pins the deterministic-first-panic contract: when
+// two bodies panic concurrently, exactly one recorded panic propagates,
+// and it is the first one to be recovered — not whichever worker happened
+// to write last (the old atomic.Value.Store bug kept the last writer).
+func TestForFirstPanicWins(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		var barrier sync.WaitGroup
+		barrier.Add(2)
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			ForWorkers(2, 2, func(i int) {
+				// Both workers reach the barrier, then panic as close to
+				// simultaneously as the scheduler allows.
+				barrier.Done()
+				barrier.Wait()
+				panic(i)
+			})
+			return nil
+		}()
+		v, ok := got.(int)
+		if !ok || (v != 0 && v != 1) {
+			t.Fatalf("trial %d: propagated %v, want panic value 0 or 1", trial, got)
+		}
+	}
+}
+
+// TestForPanicExactlyOnce checks that a multi-panic run surfaces a single
+// panic to the caller (the losing worker's panic is swallowed, not
+// re-raised on some later call).
+func TestForPanicExactlyOnce(t *testing.T) {
+	panics := 0
+	func() {
+		defer func() {
+			if recover() != nil {
+				panics++
+			}
+		}()
+		ForWorkers(64, 8, func(i int) { panic(i) })
+	}()
+	if panics != 1 {
+		t.Fatalf("observed %d panics, want 1", panics)
+	}
+	// The pool must be fully reusable afterwards.
+	var sum atomic.Int64
+	ForWorkers(100, 4, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 100*99/2 {
+		t.Fatalf("pool broken after panic: sum=%d", sum.Load())
+	}
+}
+
+func TestForPoolCoversAllIndicesAndCounts(t *testing.T) {
+	n := 500
+	seen := make([]atomic.Int32, n)
+	st := ForPoolWorkers("test-cover", n, 4, func(i int) {
+		seen[i].Add(1)
+	})
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, seen[i].Load())
+		}
+	}
+	if st.TotalTasks() != int64(n) {
+		t.Fatalf("TotalTasks = %d, want %d", st.TotalTasks(), n)
+	}
+	if st.Workers != 4 || len(st.Tasks) != 4 || len(st.Busy) != 4 {
+		t.Fatalf("bad worker accounting: %+v", st)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("no elapsed time recorded")
+	}
+}
+
+func TestForPoolStatsUtilization(t *testing.T) {
+	st := ForPoolWorkers("test-util", 8, 2, func(i int) {
+		time.Sleep(2 * time.Millisecond)
+	})
+	if u := st.Utilization(); u <= 0 || u > 1.001 {
+		t.Fatalf("utilization = %g, want (0, 1]", u)
+	}
+	if r := st.StragglerRatio(); r < 1 || r > float64(st.Workers) {
+		t.Fatalf("straggler ratio = %g, want [1, workers]", r)
+	}
+	if st.TotalBusy() < 8*2*time.Millisecond {
+		t.Fatalf("busy %v below the 16ms of sleeping that happened", st.TotalBusy())
+	}
+}
+
+func TestForPoolRecordsObsMetrics(t *testing.T) {
+	before := obs.GetCounter("pool.test-obs.tasks").Value()
+	ForPoolWorkers("test-obs", 10, 2, func(i int) {})
+	if got := obs.GetCounter("pool.test-obs.tasks").Value() - before; got != 10 {
+		t.Fatalf("obs task counter advanced by %d, want 10", got)
+	}
+	if obs.GetHistogram("pool.test-obs.task_seconds").Count() < 10 {
+		t.Fatal("task latency histogram not populated")
+	}
+	if u := obs.GetGauge("pool.test-obs.utilization").Value(); u <= 0 {
+		t.Fatalf("utilization gauge = %g", u)
+	}
+}
+
+func TestForPoolSerialAndEmpty(t *testing.T) {
+	var order []int
+	st := ForPoolWorkers("test-serial", 5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool order broken: %v", order)
+		}
+	}
+	if st.TotalTasks() != 5 {
+		t.Fatalf("TotalTasks = %d", st.TotalTasks())
+	}
+	if st := ForPool("test-empty", 0, func(i int) { t.Fatal("called") }); st.TotalTasks() != 0 {
+		t.Fatal("empty pool ran tasks")
+	}
 }
 
 func TestMapOrdered(t *testing.T) {

@@ -14,10 +14,20 @@ package svm
 
 import (
 	"math"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/sparse"
+)
+
+// Training-work counters (obs run reports): models trained, solver passes
+// actually executed (vs the MaxIters budget), and per-model train latency.
+var (
+	obsModels = obs.GetCounter("svm.train.models")
+	obsPasses = obs.GetCounter("svm.train.passes")
+	obsTrainS = obs.GetHistogram("svm.train.seconds")
 )
 
 // Model is a trained linear decision function f(x) = w·x + b.
@@ -101,7 +111,10 @@ func Train(xs []*sparse.Vector, ys []int, dim int, opt Options) *Model {
 	for i := range order {
 		order[i] = i
 	}
+	t0 := time.Now()
+	passes := 0
 	for pass := 0; pass < opt.MaxIters; pass++ {
+		passes++
 		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		maxViolation := 0.0
 		for _, i := range order {
@@ -139,6 +152,9 @@ func Train(xs []*sparse.Vector, ys []int, dim int, opt Options) *Model {
 			break
 		}
 	}
+	obsModels.Inc()
+	obsPasses.Add(int64(passes))
+	obsTrainS.Observe(time.Since(t0).Seconds())
 	return m
 }
 
@@ -153,7 +169,7 @@ type OneVsRest struct {
 // in parallel — they are independent problems over shared read-only data.
 func TrainOneVsRest(xs []*sparse.Vector, labels []int, numClasses, dim int, opt Options) *OneVsRest {
 	o := &OneVsRest{NumClasses: numClasses, Models: make([]*Model, numClasses)}
-	parallel.For(numClasses, func(k int) {
+	parallel.ForPool("svm-ovr", numClasses, func(k int) {
 		ys := make([]int, len(labels))
 		for i, l := range labels {
 			if l == k {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/frontend"
 	"repro/internal/ngram"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/sparse"
@@ -61,14 +62,24 @@ func Extract(fe *frontend.FrontEnd, c *corpus.Corpus, opt ExtractOptions) *Featu
 	for _, s := range splits {
 		items = append(items, s.Items...)
 	}
-	vecs := parallel.Map(len(items), func(i int) *sparse.Vector {
+	// The decode pool is the pipeline's dominant cost (Table 5); per-worker
+	// busy time and task latencies land in the obs registry under
+	// "pool.decode.*", making utilization and straggler utterances visible
+	// in run reports.
+	vecs := make([]*sparse.Vector, len(items))
+	parallel.ForPool("decode", len(items), func(i int) {
 		it := items[i]
 		r := root.Split(uint64(it.ID))
-		return fe.Space.Supervector(fe.Decode(r, it.U))
+		vecs[i] = fe.Space.Supervector(fe.Decode(r, it.U))
 	})
+	var nnz int64
 	for i, it := range items {
 		f.vectors[it.ID] = vecs[i]
+		nnz += int64(vecs[i].NNZ())
 	}
+	obs.Add("supervector.count", int64(len(items)))
+	obs.Add("supervector.nnz", nnz)
+	obs.SetGauge("supervector.dim."+fe.Name, float64(fe.Space.Dim()))
 
 	if !opt.DisableTFLLR {
 		trainVecs := make([]*sparse.Vector, 0, c.Train.Len())
