@@ -12,6 +12,15 @@
 //	lre -fig 3                                # DET curve points
 //	lre -ablation vote                        # vote-criterion ablation
 //
+// Model export for the online scoring daemon (cmd/lred):
+//
+//	lre -scale small -seed 42 -export-models ./models
+//
+// writes the trained baseline bundle — per-front-end TFLLR scalers and
+// one-vs-rest SVM sets plus the trial-level fusion backend — as
+// bundle.gob with a manifest.json provenance sidecar (seed, scale,
+// front-ends, git describe). cmd/lred serves it; see README "Serving".
+//
 // Observability (internal/obs) outputs:
 //
 //	lre -table 5 -trace-out trace.json        # per-stage span tree
@@ -28,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -55,6 +65,7 @@ func main() {
 		iterate    = flag.Int("iterate", 0, "run N-round iterated DBA (extension; 0 = off)")
 		openset    = flag.Int("openset", 0, "evaluate open-set condition with N out-of-set languages (extension; 0 = off)")
 		scoresOut  = flag.String("scores", "", "write LRE-style score files for the baseline subsystems to this path")
+		exportDir  = flag.String("export-models", "", "export the trained baseline bundle + manifest for cmd/lred to this directory")
 		traceOut   = flag.String("trace-out", "", "write the span trace (per-stage wall times) as JSON to this path")
 		metricsOut = flag.String("metrics-out", "", "write counters/gauges/latency histograms as JSON to this path")
 		reportOut  = flag.String("report-out", "", "write the full run report (trace + metrics + meta) as JSON to this path")
@@ -62,7 +73,7 @@ func main() {
 		pprofMem   = flag.String("pprof-mem", "", "write a heap profile at end of run to this path")
 	)
 	flag.Parse()
-	if *table == "" && *fig == "" && *ablation == "" {
+	if *table == "" && *fig == "" && *ablation == "" && *exportDir == "" {
 		*table = "all"
 	}
 
@@ -88,7 +99,8 @@ func main() {
 			strings.Contains(","+*table+",", ","+n+",")
 	}
 	needPipeline := wantTable("1") || wantTable("2") || wantTable("3") ||
-		wantTable("4") || *fig == "3" || *ablation != "" || *scoresOut != "" || *iterate > 0 || *openset > 0
+		wantTable("4") || *fig == "3" || *ablation != "" || *scoresOut != "" ||
+		*iterate > 0 || *openset > 0 || *exportDir != ""
 
 	var p *experiments.Pipeline
 	if needPipeline {
@@ -148,6 +160,14 @@ func main() {
 		}
 		log.Printf("wrote score file %s", *scoresOut)
 	}
+	if *exportDir != "" {
+		m, err := p.ExportModels(*exportDir, gitDescribe())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("exported bundle to %s: %d front-ends, %d languages, fusion=%v",
+			*exportDir, len(m.FrontEnds), m.NumLanguages, m.Fusion)
+	}
 
 	if *traceOut != "" || *metricsOut != "" || *reportOut != "" {
 		rep := obs.Snapshot()
@@ -198,6 +218,16 @@ func main() {
 		}
 		log.Printf("wrote heap profile %s", *pprofMem)
 	}
+}
+
+// gitDescribe records build provenance in exported manifests; an empty
+// string when git (or the repo) is unavailable.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // writeScores dumps every baseline subsystem's pooled test scores as an

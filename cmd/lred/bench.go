@@ -1,0 +1,376 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// The load benchmark behind BENCH_serve.json: build a pipeline, export
+// its bundle, and drive the real daemon over HTTP twice — once with
+// micro-batching disabled (max-batch 1) and once enabled — with the same
+// request mix. Every response is checked bit-identical against the batch
+// pipeline's baseline scores, so the throughput comparison is at equal
+// correctness by construction. Latency quantiles come from the server's
+// own /metricsz report, not client-side clocks.
+
+type benchConfig struct {
+	scale    string
+	seed     uint64
+	requests int
+	clients  int
+	maxBatch int
+	repeats  int
+	out      string
+}
+
+type benchPhase struct {
+	Name        string  `json:"name"`
+	MaxBatch    int     `json:"max_batch"`
+	Requests    int     `json:"requests"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Throughput  float64 `json:"requests_per_second"`
+	// Server-side /v1/score latency from the daemon's own obs histogram.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Batching effectiveness, also from /metricsz.
+	Batches   int64   `json:"batches"`
+	MeanBatch float64 `json:"mean_batch_size"`
+	Rejected  int64   `json:"rejected_429"`
+	// Pure SVM scoring cost from the pool.serve-score counters: worker
+	// busy time summed over the phase, and its per-request share. This is
+	// the cost micro-batching acts on; wall-clock throughput additionally
+	// includes the per-request HTTP/JSON work batching cannot touch.
+	ScoreBusySeconds float64 `json:"score_busy_seconds"`
+	ScoreUsPerReq    float64 `json:"score_us_per_request"`
+	ScoreChecked     int     `json:"scores_checked"`
+	Mismatches       int     `json:"score_mismatches"`
+}
+
+// benchSummary aggregates one configuration's interleaved repeats: total
+// requests over total wall clock, so run-to-run machine drift (which hits
+// adjacent repeats of both configurations alike) cancels in the ratio.
+type benchSummary struct {
+	Name          string       `json:"name"`
+	MaxBatch      int          `json:"max_batch"`
+	Requests      int          `json:"requests"`
+	WallSeconds   float64      `json:"wall_seconds"`
+	Throughput    float64      `json:"requests_per_second"`
+	P50Ms         float64      `json:"p50_ms"` // from the median-throughput repeat
+	P99Ms         float64      `json:"p99_ms"`
+	MeanBatch     float64      `json:"mean_batch_size"`
+	ScoreUsPerReq float64      `json:"score_us_per_request"`
+	Checked       int          `json:"scores_checked"`
+	Mismatches    int          `json:"score_mismatches"`
+	Runs          []benchPhase `json:"runs"`
+}
+
+func summarize(runs []benchPhase) benchSummary {
+	s := benchSummary{Name: runs[0].Name, MaxBatch: runs[0].MaxBatch, Runs: runs}
+	var batches, jobs int64
+	var busy float64
+	for _, r := range runs {
+		s.Requests += r.Requests
+		s.WallSeconds += r.WallSeconds
+		s.Checked += r.ScoreChecked
+		s.Mismatches += r.Mismatches
+		batches += r.Batches
+		jobs += int64(float64(r.Batches) * r.MeanBatch)
+		busy += r.ScoreBusySeconds
+	}
+	s.Throughput = float64(s.Requests) / s.WallSeconds
+	s.ScoreUsPerReq = busy / float64(s.Requests) * 1e6
+	if batches > 0 {
+		s.MeanBatch = float64(jobs) / float64(batches)
+	}
+	// Latency quantiles from the median-throughput repeat (aggregating
+	// histogram quantiles across runs would need the raw buckets).
+	med := make([]benchPhase, len(runs))
+	copy(med, runs)
+	sort.Slice(med, func(i, j int) bool { return med[i].Throughput < med[j].Throughput })
+	s.P50Ms = med[len(med)/2].P50Ms
+	s.P99Ms = med[len(med)/2].P99Ms
+	return s
+}
+
+type benchReport struct {
+	Scale      string         `json:"scale"`
+	Seed       uint64         `json:"seed"`
+	Clients    int            `json:"clients"`
+	Repeats    int            `json:"repeats"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	GoVersion  string         `json:"go"`
+	FrontEnds  int            `json:"front_ends"`
+	Phases     []benchSummary `json:"phases"`
+	// Speedup is aggregate batched throughput over unbatched, end to end.
+	Speedup float64 `json:"batched_speedup"`
+	// ScoringSpeedup compares pure per-request SVM scoring cost (worker
+	// busy time), the component batching actually optimizes.
+	ScoringSpeedup float64 `json:"batched_scoring_speedup"`
+}
+
+func runBench(cfg benchConfig) error {
+	scale, err := experiments.ParseScale(cfg.scale)
+	if err != nil {
+		return err
+	}
+	log.Printf("bench: building pipeline (scale=%s seed=%d)…", scale, cfg.seed)
+	p := experiments.BuildPipeline(scale, cfg.seed)
+	dir, err := os.MkdirTemp("", "lred-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := p.ExportModels(dir, ""); err != nil {
+		return err
+	}
+
+	// Request bodies: every pooled test utterance's six already-scaled
+	// supervectors, with the pipeline's baseline score matrix as the
+	// expected response.
+	bodies, expected, feNames := benchRequestsFrom(p)
+	log.Printf("bench: %d distinct utterances, %d requests × %d clients per phase",
+		len(bodies), cfg.requests, cfg.clients)
+
+	if cfg.repeats < 1 {
+		cfg.repeats = 1
+	}
+	rep := benchReport{
+		Scale:      scale.String(),
+		Seed:       cfg.seed,
+		Clients:    cfg.clients,
+		Repeats:    cfg.repeats,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		FrontEnds:  len(p.FEs),
+	}
+	configs := []struct {
+		name     string
+		maxBatch int
+	}{
+		{"unbatched", 1},
+		{"batched", cfg.maxBatch},
+	}
+	// Interleave repeats (and alternate order every other round) so slow
+	// patches of a shared machine hit both configurations equally.
+	runs := make([][]benchPhase, len(configs))
+	for r := 0; r < cfg.repeats; r++ {
+		order := []int{0, 1}
+		if r%2 == 1 {
+			order = []int{1, 0}
+		}
+		for _, ci := range order {
+			c := configs[ci]
+			phase, err := runBenchPhase(dir, c.name, c.maxBatch, cfg, bodies, expected, feNames)
+			if err != nil {
+				return fmt.Errorf("bench phase %s: %w", c.name, err)
+			}
+			log.Printf("bench: [%d/%d] %-9s %8.1f req/s  score %.0fµs/req  p50=%.3gms p99=%.3gms  mean batch %.1f  (%d scores checked, %d mismatches)",
+				r+1, cfg.repeats, phase.Name, phase.Throughput, phase.ScoreUsPerReq, phase.P50Ms, phase.P99Ms, phase.MeanBatch, phase.ScoreChecked, phase.Mismatches)
+			if phase.Mismatches > 0 {
+				return fmt.Errorf("bench phase %s: %d score mismatches vs the batch pipeline", c.name, phase.Mismatches)
+			}
+			runs[ci] = append(runs[ci], *phase)
+		}
+	}
+	for _, rs := range runs {
+		rep.Phases = append(rep.Phases, summarize(rs))
+	}
+	if rep.Phases[0].Throughput > 0 {
+		rep.Speedup = rep.Phases[1].Throughput / rep.Phases[0].Throughput
+	}
+	if rep.Phases[1].ScoreUsPerReq > 0 {
+		rep.ScoringSpeedup = rep.Phases[0].ScoreUsPerReq / rep.Phases[1].ScoreUsPerReq
+	}
+
+	f, err := os.Create(cfg.out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("bench: batched speedup %.2fx; wrote %s", rep.Speedup, cfg.out)
+	return nil
+}
+
+// benchRequestsFrom marshals one /v1/score body per pooled test utterance
+// (all front-ends, scaled supervectors) and the exact score rows the
+// batch pipeline produced for it; expected[j][q] aligns with feNames[q].
+func benchRequestsFrom(p *experiments.Pipeline) (bodies [][]byte, expected [][][]float64, feNames []string) {
+	for _, fe := range p.FEs {
+		feNames = append(feNames, fe.Name)
+	}
+	n := len(p.TestLabels)
+	for j := 0; j < n; j++ {
+		req := serve.ScoreRequest{
+			ID:        fmt.Sprintf("seg%05d", j),
+			FrontEnds: make(map[string]serve.FrontEndInput, len(p.FEs)),
+		}
+		exp := make([][]float64, len(p.FEs))
+		for q, fe := range p.FEs {
+			v := p.Data[q].Test[j]
+			req.FrontEnds[fe.Name] = serve.FrontEndInput{Supervector: &serve.Supervector{
+				Idx: v.Idx, Val: v.Val, Scaled: true,
+			}}
+			exp[q] = p.BaselineScores[q][j]
+		}
+		body, err := json.Marshal(&req)
+		if err != nil {
+			panic(err)
+		}
+		bodies = append(bodies, body)
+		expected = append(expected, exp)
+	}
+	return bodies, expected, feNames
+}
+
+func runBenchPhase(modelDir, name string, maxBatch int, cfg benchConfig, bodies [][]byte, expected [][][]float64, feNames []string) (*benchPhase, error) {
+	// Fresh metrics per phase so /metricsz reflects this phase only.
+	obs.Reset()
+	s, err := serve.New(serve.Config{
+		ModelDir:   modelDir,
+		MaxBatch:   maxBatch,
+		QueueDepth: 4096, // the bench measures batching, not admission control
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.clients * 2,
+		MaxIdleConnsPerHost: cfg.clients * 2,
+	}}
+
+	var next atomic.Int64
+	var checked, mismatches atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.requests {
+					return
+				}
+				j := i % len(bodies)
+				resp, err := client.Post(base+"/v1/score", "application/json", bytes.NewReader(bodies[j]))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("status %d: %s", resp.StatusCode, data))
+					return
+				}
+				var sr serve.ScoreResponse
+				if err := json.Unmarshal(data, &sr); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				// Exact equality with the batch pipeline: JSON float64
+				// round-trips are lossless, so any drift is a real bug.
+				for q, fe := range feNames {
+					got, want := sr.Scores[fe], expected[j][q]
+					if len(got) != len(want) {
+						mismatches.Add(1)
+						continue
+					}
+					for k := range want {
+						checked.Add(1)
+						if got[k] != want[k] {
+							mismatches.Add(1)
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		cancel()
+		<-runErr
+		return nil, err
+	}
+
+	// Pull the server's own view before draining it.
+	metrics, err := fetchMetrics(client, base)
+	if err != nil {
+		cancel()
+		<-runErr
+		return nil, err
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		return nil, fmt.Errorf("server drain: %w", err)
+	}
+
+	ph := &benchPhase{
+		Name:             name,
+		MaxBatch:         maxBatch,
+		Requests:         cfg.requests,
+		WallSeconds:      wall.Seconds(),
+		Throughput:       float64(cfg.requests) / wall.Seconds(),
+		Batches:          metrics.Counters["serve.batches"],
+		Rejected:         metrics.Counters["serve.queue.rejected"],
+		ScoreBusySeconds: float64(metrics.Counters["pool.serve-score.busy_ns"]) / 1e9,
+		ScoreChecked:     int(checked.Load()),
+		Mismatches:       int(mismatches.Load()),
+	}
+	ph.ScoreUsPerReq = ph.ScoreBusySeconds / float64(cfg.requests) * 1e6
+	if h, ok := metrics.Histograms["serve.http.score.seconds"]; ok {
+		ph.P50Ms = h.P50Sec * 1e3
+		ph.P99Ms = h.P99Sec * 1e3
+	}
+	if ph.Batches > 0 {
+		ph.MeanBatch = float64(metrics.Counters["serve.batched_jobs"]) / float64(ph.Batches)
+	}
+	return ph, nil
+}
+
+func fetchMetrics(client *http.Client, base string) (*obs.Report, error) {
+	resp, err := client.Get(base + "/metricsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var rep obs.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

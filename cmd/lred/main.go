@@ -1,0 +1,126 @@
+// Command lred is the online scoring daemon: it loads a model bundle
+// exported by `lre -export-models`, and serves language-recognition
+// scores over HTTP/JSON with micro-batched SVM scoring, bounded-queue
+// backpressure, hot model reload, and graceful drain.
+//
+// Usage:
+//
+//	lre -scale small -seed 42 -export-models ./models
+//	lred -models ./models -addr 127.0.0.1:8080
+//
+// Endpoints:
+//
+//	POST /v1/score        score one utterance (per-front-end lattice or supervector)
+//	POST /v1/score/batch  score many utterances in one call
+//	GET  /healthz         process liveness
+//	GET  /readyz          model loaded and not draining
+//	GET  /metricsz        internal/obs run report (counters/gauges/histograms)
+//	POST /-/reload        reload the bundle directory (SIGHUP does the same)
+//
+// Robustness: per-request deadlines (-timeout), 429 + Retry-After when
+// the admission queue is full (-queue), panic-isolated scoring workers,
+// and graceful drain on SIGTERM/SIGINT — queued work finishes, new work
+// gets 503, and the process exits 0 within -drain-timeout.
+//
+// Benchmark mode (writes BENCH_serve.json and exits):
+//
+//	lred -bench-out BENCH_serve.json -bench-scale small -bench-requests 2000
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lred: ")
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		models       = flag.String("models", "", "bundle directory written by lre -export-models (required)")
+		maxBatch     = flag.Int("max-batch", 16, "max requests sharing one scoring pass")
+		batchWait    = flag.Duration("batch-wait", 2*time.Millisecond, "how long a non-full batch waits for more requests")
+		queueDepth   = flag.Int("queue", 256, "admission queue depth (beyond it: 429 + Retry-After)")
+		workers      = flag.Int("workers", 0, "scoring pool size (0 = GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", 5*time.Second, "per-request deadline (queueing + scoring)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget on SIGTERM")
+
+		benchOut      = flag.String("bench-out", "", "run the micro-batching load benchmark, write the report here, and exit")
+		benchScale    = flag.String("bench-scale", "small", "benchmark corpus scale")
+		benchSeed     = flag.Uint64("bench-seed", 42, "benchmark pipeline seed")
+		benchRequests = flag.Int("bench-requests", 2000, "benchmark requests per phase run")
+		benchClients  = flag.Int("bench-clients", 128, "benchmark concurrent clients")
+		benchRepeats  = flag.Int("bench-repeats", 3, "interleaved repeats per benchmark configuration")
+	)
+	flag.Parse()
+
+	if *benchOut != "" {
+		if err := runBench(benchConfig{
+			scale:    *benchScale,
+			seed:     *benchSeed,
+			requests: *benchRequests,
+			clients:  *benchClients,
+			repeats:  *benchRepeats,
+			maxBatch: *maxBatch,
+			out:      *benchOut,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *models == "" {
+		log.Fatal("no -models directory (export one with: lre -export-models <dir>)")
+	}
+	s, err := serve.New(serve.Config{
+		ModelDir:       *models,
+		MaxBatch:       *maxBatch,
+		BatchWait:      *batchWait,
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drainTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := s.Registry().Current()
+	log.Printf("loaded bundle v%d from %s: %d front-ends, %d languages, fusion=%v",
+		m.Version, *models, len(m.Bundle.FrontEnds), len(m.Bundle.Languages), m.Bundle.Fusion != nil)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s (max-batch=%d queue=%d)", ln.Addr(), *maxBatch, *queueDepth)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	// SIGHUP hot-reloads the bundle; in-flight requests keep the model
+	// they were admitted with.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if m, err := s.Registry().Reload(); err != nil {
+				log.Printf("reload failed (previous model still active): %v", err)
+			} else {
+				log.Printf("reloaded bundle: now v%d", m.Version)
+			}
+		}
+	}()
+
+	if err := s.Run(ctx, ln); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained cleanly")
+}

@@ -1,0 +1,143 @@
+// serving: the online-scoring workflow end to end, in one process — train
+// a tiny battery, export its bundle with ExportModels, stand up the
+// internal/serve server (the same registry + micro-batching machinery
+// cmd/lred wraps), then act as a client: score an utterance by phone
+// lattice over HTTP, hot-reload a retrained bundle while requests are in
+// flight, and drain gracefully.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Train the batch pipeline and export the serving bundle.
+	fmt.Println("== training (scale=tiny) and exporting the bundle ==")
+	p := experiments.BuildPipeline(experiments.ScaleTiny, 42)
+	dir, err := os.MkdirTemp("", "serving-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	m, err := p.ExportModels(dir, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bundle: %d front-ends %v, %d languages, fusion=%v\n\n",
+		len(m.FrontEnds), m.FrontEnds, m.NumLanguages, m.Fusion)
+
+	// 2. Start the scoring server on a loopback port. cmd/lred does
+	// exactly this plus signal wiring.
+	s, err := serve.New(serve.Config{ModelDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, shutdown := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("== serving on %s ==\n", base)
+
+	var ready map[string]any
+	getJSON(base+"/readyz", &ready)
+	fmt.Printf("readyz: %v\n\n", ready)
+
+	// 3. Score an utterance by phone lattice: the client ships posterior
+	// slots for one front-end; the server rebuilds the n-gram supervector,
+	// applies TFLLR, and runs the one-vs-rest SVMs.
+	fe := m.FrontEnds[0]
+	req := serve.ScoreRequest{
+		ID: "utt-0",
+		FrontEnds: map[string]serve.FrontEndInput{
+			fe: {Lattice: [][]serve.Slot{
+				{{Phone: 3, Prob: 0.8}, {Phone: 9, Prob: 0.2}},
+				{{Phone: 14, Prob: 1.0}},
+				{{Phone: 3, Prob: 0.6}, {Phone: 21, Prob: 0.4}},
+				{{Phone: 7, Prob: 0.9}, {Phone: 2, Prob: 0.1}},
+			}},
+		},
+	}
+	var res serve.ScoreResponse
+	postJSON(base+"/v1/score", req, &res)
+	fmt.Printf("== scored %q against model v%d ==\n", res.ID, res.ModelVersion)
+	top := 0
+	for k := range res.Scores[fe] {
+		if res.Scores[fe][k] > res.Scores[fe][top] {
+			top = k
+		}
+	}
+	fmt.Printf("front-end %s top language: %s (%.3f)\n", fe, res.Languages[top], res.Scores[fe][top])
+	fmt.Printf("best (server pick): %s\n\n", res.Best)
+
+	// 4. Hot reload: re-export (a retrain in real life) and flip the
+	// registry. In-flight requests keep the model they were admitted with;
+	// new ones see v2.
+	fmt.Println("== hot reload ==")
+	if _, err := p.ExportModels(dir, ""); err != nil {
+		log.Fatal(err)
+	}
+	var rel map[string]any
+	postJSON(base+"/-/reload", struct{}{}, &rel)
+	fmt.Printf("now serving model v%v\n", rel["model_version"])
+	var res2 serve.ScoreResponse
+	postJSON(base+"/v1/score", req, &res2)
+	fmt.Printf("same request now answered by v%d\n\n", res2.ModelVersion)
+
+	// 5. Graceful drain: cancel the serve context (what SIGTERM does in
+	// cmd/lred); queued work finishes, then Run returns nil.
+	fmt.Println("== draining ==")
+	shutdown()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained cleanly")
+}
+
+func postJSON(url string, in, out any) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %d: %s", url, resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

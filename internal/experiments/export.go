@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/fusion"
+	"repro/internal/obs"
+	"repro/internal/persist"
+	"repro/internal/synthlang"
+)
+
+// BuildBundle assembles the serving bundle from a trained pipeline: every
+// front-end's TFLLR scaler and baseline one-vs-rest SVM set, plus a
+// trial-level LDA-MMI fusion backend trained on the pooled dev trials
+// (one feature per front-end, class 1 = target — the same 2-class shape
+// Table 4's fusion uses per duration tier). The bundle scores exactly
+// like the batch pipeline: for the same supervectors, OVR decision values
+// are bit-identical to Pipeline.BaselineScores.
+func (p *Pipeline) BuildBundle() *persist.Bundle {
+	b := &persist.Bundle{
+		Languages: append([]string(nil), synthlang.LanguageNames...),
+	}
+	for q, fe := range p.FEs {
+		b.FrontEnds = append(b.FrontEnds, persist.FrontEndModel{
+			Name:      fe.Name,
+			NumPhones: fe.Set.Size,
+			Order:     fe.Space.Order,
+			TFLLR:     p.Feats[q].TF,
+			OVR:       p.Baseline[q],
+		})
+	}
+	var devX [][]float64
+	var devY []int
+	for i := range p.DevLabels {
+		for k := 0; k < NumLangs; k++ {
+			x := make([]float64, len(p.FEs))
+			for q := range p.FEs {
+				x[q] = p.BaselineDev[q][i][k]
+			}
+			devX = append(devX, x)
+			if p.DevLabels[i] == k {
+				devY = append(devY, 1)
+			} else {
+				devY = append(devY, 0)
+			}
+		}
+	}
+	// A degenerate dev set (never at supported scales) just means the
+	// bundle ships without fusion; the server falls back to mean scores.
+	if bk, err := fusion.Train(devX, devY, 2, fusion.DefaultConfig()); err == nil {
+		b.Fusion = bk
+	}
+	return b
+}
+
+// ExportModels writes the pipeline's serving bundle plus a provenance
+// manifest to dir (the cmd/lre -export-models path; cmd/lred loads the
+// result).
+func (p *Pipeline) ExportModels(dir, gitDescribe string) (*persist.Manifest, error) {
+	sp := obs.StartSpan("export-models")
+	defer sp.End()
+	m := persist.Manifest{
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		Seed:        p.Seed,
+		Scale:       p.Scale.String(),
+		GitDescribe: gitDescribe,
+	}
+	if err := persist.SaveBundle(dir, p.BuildBundle(), m); err != nil {
+		return nil, err
+	}
+	// Re-read what was written: the returned manifest is exactly what a
+	// scoring process will see, and the round trip catches encode bugs at
+	// export time rather than at serve time.
+	_, out, err := persist.LoadBundle(dir)
+	return out, err
+}

@@ -1,0 +1,157 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fusion"
+	"repro/internal/ngram"
+	"repro/internal/svm"
+)
+
+// BundleFormatVersion versions the on-disk bundle layout (manifest.json +
+// bundle.gob). Loaders reject other versions instead of guessing.
+const BundleFormatVersion = 1
+
+// ManifestName is the JSON sidecar a bundle directory must contain. It is
+// written last (atomically), so a directory with a readable manifest always
+// holds a complete bundle — reloaders key on it.
+const ManifestName = "manifest.json"
+
+// defaultBundleFile is the gob file a manifest points at by default.
+const defaultBundleFile = "bundle.gob"
+
+// FrontEndModel is one front-end's complete scoring artifacts: enough to
+// turn a phone lattice over that front-end's inventory into a supervector
+// (NumPhones/Order rebuild the ngram.Space) and score it (TFLLR + OVR).
+type FrontEndModel struct {
+	Name      string
+	NumPhones int
+	Order     int
+	// TFLLR is nil when background scaling was disabled at training time.
+	TFLLR *ngram.TFLLR
+	OVR   *svm.OneVsRest
+}
+
+// Bundle is everything the online scoring service loads: the per-front-end
+// models plus the optional trial-level fusion backend (trained on dev
+// trials with one feature per front-end; class 1 = target).
+type Bundle struct {
+	Languages []string
+	FrontEnds []FrontEndModel
+	Fusion    *fusion.Backend
+}
+
+// Validate checks the internal consistency a scoring process relies on.
+func (b *Bundle) Validate() error {
+	if len(b.Languages) == 0 {
+		return fmt.Errorf("persist: bundle has no languages")
+	}
+	if len(b.FrontEnds) == 0 {
+		return fmt.Errorf("persist: bundle has no front-ends")
+	}
+	seen := make(map[string]bool, len(b.FrontEnds))
+	for i := range b.FrontEnds {
+		fe := &b.FrontEnds[i]
+		if fe.Name == "" {
+			return fmt.Errorf("persist: front-end %d has no name", i)
+		}
+		if seen[fe.Name] {
+			return fmt.Errorf("persist: duplicate front-end %q", fe.Name)
+		}
+		seen[fe.Name] = true
+		if fe.NumPhones <= 0 || fe.Order < 1 {
+			return fmt.Errorf("persist: front-end %q has invalid space %d^%d", fe.Name, fe.NumPhones, fe.Order)
+		}
+		if fe.OVR == nil || len(fe.OVR.Models) == 0 {
+			return fmt.Errorf("persist: front-end %q has no language models", fe.Name)
+		}
+		if fe.OVR.NumClasses != len(b.Languages) {
+			return fmt.Errorf("persist: front-end %q scores %d classes, bundle lists %d languages",
+				fe.Name, fe.OVR.NumClasses, len(b.Languages))
+		}
+	}
+	return nil
+}
+
+// Manifest is the human- and ops-readable description of a bundle
+// directory: where the models came from and what they contain.
+type Manifest struct {
+	FormatVersion int    `json:"format_version"`
+	CreatedAt     string `json:"created_at,omitempty"` // RFC 3339
+	// Training provenance.
+	Seed        uint64 `json:"seed"`
+	Scale       string `json:"scale,omitempty"`
+	GitDescribe string `json:"git_describe,omitempty"`
+	// Contents summary (filled by SaveBundle from the bundle itself).
+	FrontEnds    []string `json:"front_ends"`
+	NumLanguages int      `json:"num_languages"`
+	Fusion       bool     `json:"fusion"`
+	BundleFile   string   `json:"bundle_file"`
+}
+
+// SaveBundle writes a bundle directory: bundle.gob first, manifest.json
+// last (both atomically), so concurrent readers either see the previous
+// complete bundle or the new one, never a torn mix. The manifest's
+// contents-summary fields are overwritten from the bundle.
+func SaveBundle(dir string, b *Bundle, m Manifest) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: bundle dir: %w", err)
+	}
+	m.FormatVersion = BundleFormatVersion
+	m.BundleFile = defaultBundleFile
+	m.FrontEnds = m.FrontEnds[:0]
+	for i := range b.FrontEnds {
+		m.FrontEnds = append(m.FrontEnds, b.FrontEnds[i].Name)
+	}
+	m.NumLanguages = len(b.Languages)
+	m.Fusion = b.Fusion != nil
+	if err := Save(filepath.Join(dir, m.BundleFile), b); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("persist: manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("persist: manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadBundle reads and validates a bundle directory written by SaveBundle.
+func LoadBundle(dir string) (*Bundle, *Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, nil, fmt.Errorf("persist: manifest: %w", err)
+	}
+	if m.FormatVersion != BundleFormatVersion {
+		return nil, nil, fmt.Errorf("persist: bundle format %d (want %d)", m.FormatVersion, BundleFormatVersion)
+	}
+	file := m.BundleFile
+	if file == "" {
+		file = defaultBundleFile
+	}
+	var b Bundle
+	if err := Load(filepath.Join(dir, file), &b); err != nil {
+		return nil, nil, fmt.Errorf("persist: bundle %s: %w", file, err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return &b, &m, nil
+}

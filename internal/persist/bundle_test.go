@@ -1,0 +1,235 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fusion"
+	"repro/internal/ngram"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+	"repro/internal/svm"
+)
+
+// trainedBundle builds a small but fully populated bundle — every type a
+// scoring process loads (TFLLR scalers, OVR sets, fusion backend) — plus
+// held-out vectors to compare scores on after the round trip.
+func trainedBundle(t *testing.T, seed uint64) (*Bundle, []*sparse.Vector) {
+	t.Helper()
+	const (
+		numPhones = 4
+		order     = 2
+		langs     = 3
+	)
+	space := ngram.NewSpace(numPhones, order)
+	r := rng.New(seed)
+	b := &Bundle{Languages: []string{"aa", "bb", "cc"}}
+	var probes []*sparse.Vector
+	var feScores [][][]float64
+	var labels []int
+	for f := 0; f < 2; f++ {
+		var xs []*sparse.Vector
+		labels = labels[:0]
+		for i := 0; i < 45; i++ {
+			k := i % langs
+			xs = append(xs, sparse.FromMap(map[int32]float64{
+				int32(k * 5):                   2 + 0.3*r.Norm(),
+				int32(r.Intn(space.Dim())):     r.Float64(),
+				int32((k*5 + f) % space.Dim()): 1,
+			}))
+			labels = append(labels, k)
+		}
+		tf := ngram.EstimateTFLLR(xs, space.Dim(), 1e-5)
+		for _, v := range xs {
+			tf.Apply(v)
+		}
+		b.FrontEnds = append(b.FrontEnds, FrontEndModel{
+			Name:      "FE" + string(rune('A'+f)),
+			NumPhones: numPhones,
+			Order:     order,
+			TFLLR:     tf,
+			OVR:       svm.TrainOneVsRest(xs, labels, langs, space.Dim(), svm.DefaultOptions()),
+		})
+		if f == 0 {
+			probes = xs[:8]
+		}
+		rows := make([][]float64, len(xs))
+		for i, v := range xs {
+			rows[i] = b.FrontEnds[f].OVR.Scores(v)
+		}
+		feScores = append(feScores, rows)
+	}
+	var devX [][]float64
+	var devY []int
+	for i := range labels {
+		for k := 0; k < langs; k++ {
+			devX = append(devX, []float64{feScores[0][i][k], feScores[1][i][k]})
+			y := 0
+			if labels[i] == k {
+				y = 1
+			}
+			devY = append(devY, y)
+		}
+	}
+	bk, err := fusion.Train(devX, devY, 2, fusion.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Fusion = bk
+	return b, probes
+}
+
+func TestBundleRoundTripAllTypes(t *testing.T) {
+	b, probes := trainedBundle(t, 1)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, b, Manifest{Seed: 1, Scale: "test", GitDescribe: "abc123"}); err != nil {
+		t.Fatal(err)
+	}
+
+	lb, m, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manifest: provenance preserved, contents summary derived.
+	if m.FormatVersion != BundleFormatVersion {
+		t.Fatalf("format version %d", m.FormatVersion)
+	}
+	if m.Seed != 1 || m.Scale != "test" || m.GitDescribe != "abc123" {
+		t.Fatalf("provenance lost: %+v", m)
+	}
+	if len(m.FrontEnds) != 2 || m.NumLanguages != 3 || !m.Fusion {
+		t.Fatalf("contents summary wrong: %+v", m)
+	}
+
+	// Bundle: structure intact.
+	if len(lb.Languages) != 3 || len(lb.FrontEnds) != 2 || lb.Fusion == nil {
+		t.Fatal("bundle structure lost in round trip")
+	}
+	for f := range b.FrontEnds {
+		want, got := &b.FrontEnds[f], &lb.FrontEnds[f]
+		if got.Name != want.Name || got.NumPhones != want.NumPhones || got.Order != want.Order {
+			t.Fatalf("front-end %d metadata changed: %+v", f, got)
+		}
+		if got.TFLLR == nil {
+			t.Fatalf("front-end %d lost its TFLLR scaler", f)
+		}
+	}
+
+	// Every loaded type must score identically to the original.
+	for _, v := range probes {
+		for f := range b.FrontEnds {
+			a, c := b.FrontEnds[f].OVR.Scores(v), lb.FrontEnds[f].OVR.Scores(v)
+			for k := range a {
+				if a[k] != c[k] {
+					t.Fatalf("front-end %d OVR scores differ after round trip", f)
+				}
+			}
+		}
+		raw := v.Clone()
+		b.FrontEnds[0].TFLLR.Apply(raw)
+		raw2 := v.Clone()
+		lb.FrontEnds[0].TFLLR.Apply(raw2)
+		if len(raw.Val) != len(raw2.Val) {
+			t.Fatal("TFLLR output shape changed")
+		}
+		for i := range raw.Val {
+			if raw.Val[i] != raw2.Val[i] {
+				t.Fatal("TFLLR scaling differs after round trip")
+			}
+		}
+	}
+	x := []float64{0.4, -0.2}
+	a, c := b.Fusion.Score(x), lb.Fusion.Score(x)
+	for k := range a {
+		if a[k] != c[k] {
+			t.Fatal("fusion scores differ after round trip")
+		}
+	}
+}
+
+func TestBundleTruncatedFileIsWrappedError(t *testing.T) {
+	b, _ := trainedBundle(t, 2)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, b, Manifest{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "bundle.gob")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the gob body mid-stream (past the header so the magic check
+	// passes) at several depths: every cut must surface as a wrapped
+	// "persist:" error, never a panic.
+	for _, frac := range []float64{0.3, 0.7, 0.95} {
+		n := int(float64(len(data)) * frac)
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := LoadBundle(dir)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes loaded successfully", n, len(data))
+		}
+		if !strings.Contains(err.Error(), "persist:") {
+			t.Fatalf("truncation error not wrapped: %v", err)
+		}
+	}
+}
+
+func TestLoadBundleRejectsBadFormatVersion(t *testing.T) {
+	b, _ := trainedBundle(t, 3)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, b, Manifest{}); err != nil {
+		t.Fatal(err)
+	}
+	mf := filepath.Join(dir, ManifestName)
+	data, err := os.ReadFile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), `"format_version": 1`, `"format_version": 99`, 1)
+	if bad == string(data) {
+		t.Fatal("manifest fixture did not contain the format version")
+	}
+	if err := os.WriteFile(mf, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadBundle(dir); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Fatalf("format version 99 accepted: %v", err)
+	}
+}
+
+func TestLoadBundleMissingPieces(t *testing.T) {
+	// No manifest at all.
+	if _, _, err := LoadBundle(t.TempDir()); err == nil {
+		t.Fatal("empty directory loaded as a bundle")
+	}
+	// Manifest present but bundle file missing.
+	b, _ := trainedBundle(t, 4)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, b, Manifest{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "bundle.gob")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadBundle(dir); err == nil || !strings.Contains(err.Error(), "persist:") {
+		t.Fatalf("missing bundle file: %v", err)
+	}
+}
+
+func TestSaveBundleRejectsInvalid(t *testing.T) {
+	b, _ := trainedBundle(t, 5)
+	dir := t.TempDir()
+	bad := &Bundle{Languages: b.Languages} // no front-ends
+	if err := SaveBundle(dir, bad, Manifest{}); err == nil {
+		t.Fatal("bundle without front-ends saved")
+	}
+	// Class-count mismatch between OVR and the language list.
+	bad2 := &Bundle{Languages: []string{"only-one"}, FrontEnds: b.FrontEnds}
+	if err := SaveBundle(dir, bad2, Manifest{}); err == nil {
+		t.Fatal("class/language mismatch saved")
+	}
+}

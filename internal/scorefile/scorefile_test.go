@@ -74,6 +74,74 @@ func TestReadSkipsBlankLines(t *testing.T) {
 	}
 }
 
+func TestReadEmptyInputError(t *testing.T) {
+	_, err := Read(strings.NewReader(""))
+	if err == nil {
+		t.Fatal("accepted empty input")
+	}
+	if !strings.Contains(err.Error(), "empty input") {
+		t.Fatalf("empty input error %q does not say so", err)
+	}
+}
+
+func TestReadHeaderOnly(t *testing.T) {
+	recs, err := Read(strings.NewReader("system\tduration_s\tmodel\tsegment\ttruth\tscore\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("header-only file yielded %d records", len(recs))
+	}
+}
+
+func TestReadTrailingNewlineAndNoFinalNewline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	// Extra trailing newlines must be harmless.
+	withTrailing := buf.String() + "\n"
+	recs, err := Read(strings.NewReader(withTrailing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(sample()) {
+		t.Fatalf("trailing newline changed record count: %d", len(recs))
+	}
+	// A file whose last line lacks the final newline must parse too.
+	noFinal := strings.TrimSuffix(buf.String(), "\n")
+	recs, err = Read(strings.NewReader(noFinal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(sample()) {
+		t.Fatalf("missing final newline changed record count: %d", len(recs))
+	}
+}
+
+func TestReadMalformedLineReportsLineNumber(t *testing.T) {
+	header := "system\tduration_s\tmodel\tsegment\ttruth\tscore\n"
+	good := "s\t30\tm\tseg\tt\t1.0\n"
+	cases := []struct {
+		name  string
+		input string
+		line  string // the line number the error must name
+	}{
+		{"wrong field count", header + good + "only\ttwo\n", "line 3"},
+		{"bad duration", header + good + good + "s\tNaN?\tm\tseg\tt\t1\n", "line 4"},
+		{"bad score", header + "s\t30\tm\tseg\tt\tbogus\n", "line 2"},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.input))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.line) {
+			t.Fatalf("%s: error %q does not name %s", tc.name, err, tc.line)
+		}
+	}
+}
+
 func TestFromScoreMatrix(t *testing.T) {
 	scores := [][]float64{{1, -1}, {0.5, 0.2}}
 	labels := []int{0, 1}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lattice"
+	"repro/internal/sparse"
+)
+
+// Wire types of the HTTP/JSON API. A request supplies, per front-end,
+// either a phone lattice (confusion-network slots over that front-end's
+// inventory, as its decoder would emit) or a pre-extracted supervector.
+// Supervectors are the per-order-normalized expected n-gram counts of
+// Eq. 2–3; the server applies the bundle's TFLLR scaling unless the client
+// marks them as already scaled.
+
+// Supervector is a sparse vector as (strictly increasing index, value)
+// pairs.
+type Supervector struct {
+	Idx []int32   `json:"idx"`
+	Val []float64 `json:"val"`
+	// Scaled marks the vector as already TFLLR-scaled (e.g. replayed from
+	// an offline extraction); the server then scores it as-is.
+	Scaled bool `json:"scaled,omitempty"`
+}
+
+// Slot is one confusion-network alternative.
+type Slot struct {
+	Phone int     `json:"phone"`
+	Prob  float64 `json:"prob"`
+}
+
+// FrontEndInput carries one front-end's evidence — exactly one of the two
+// fields must be set.
+type FrontEndInput struct {
+	Supervector *Supervector `json:"supervector,omitempty"`
+	Lattice     [][]Slot     `json:"lattice,omitempty"`
+}
+
+// ScoreRequest is the body of POST /v1/score.
+type ScoreRequest struct {
+	ID        string                   `json:"id,omitempty"`
+	FrontEnds map[string]FrontEndInput `json:"frontends"`
+}
+
+// BatchRequest is the body of POST /v1/score/batch.
+type BatchRequest struct {
+	Utterances []ScoreRequest `json:"utterances"`
+}
+
+// ScoreResult is one utterance's outcome. Scores[fe][k] is front-end fe's
+// decision value for language k (the row of the paper's score matrix F);
+// Fused[k] is the LDA-MMI backend's log-odds when the bundle carries a
+// fusion backend and the request covered every front-end.
+type ScoreResult struct {
+	ID     string               `json:"id,omitempty"`
+	Best   string               `json:"best,omitempty"`
+	Scores map[string][]float64 `json:"scores,omitempty"`
+	Fused  []float64            `json:"fused,omitempty"`
+	Error  string               `json:"error,omitempty"`
+}
+
+// ScoreResponse is the body of a successful POST /v1/score.
+type ScoreResponse struct {
+	ModelVersion int64    `json:"model_version"`
+	Languages    []string `json:"languages"`
+	ScoreResult
+}
+
+// BatchResponse is the body of POST /v1/score/batch. Results align with
+// the request's utterances; per-utterance failures carry an Error instead
+// of scores.
+type BatchResponse struct {
+	ModelVersion int64         `json:"model_version"`
+	Languages    []string      `json:"languages"`
+	Results      []ScoreResult `json:"results"`
+}
+
+// requestError is a client-side fault (HTTP 400).
+type requestError struct{ msg string }
+
+func (e *requestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &requestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// buildVectors resolves a request against a model: every named front-end
+// must exist in the bundle, and each input becomes a TFLLR-scaled
+// supervector ready for the SVM pass. The returned map is keyed by the
+// bundle's front-end index.
+func buildVectors(m *Model, req *ScoreRequest) (map[int]*sparse.Vector, error) {
+	if len(req.FrontEnds) == 0 {
+		return nil, badRequest("request names no front-ends")
+	}
+	out := make(map[int]*sparse.Vector, len(req.FrontEnds))
+	for name, in := range req.FrontEnds {
+		q, ok := m.feIndex[name]
+		if !ok {
+			return nil, badRequest("unknown front-end %q (model has %v)", name, m.Manifest.FrontEnds)
+		}
+		fe := &m.Bundle.FrontEnds[q]
+		space := m.spaces[q]
+		var v *sparse.Vector
+		switch {
+		case in.Supervector != nil && in.Lattice != nil:
+			return nil, badRequest("front-end %q: supply a supervector or a lattice, not both", name)
+		case in.Supervector != nil:
+			sv := in.Supervector
+			if len(sv.Idx) != len(sv.Val) {
+				return nil, badRequest("front-end %q: %d indices for %d values", name, len(sv.Idx), len(sv.Val))
+			}
+			// Copy: the vector outlives the request body, and TFLLR scales
+			// in place.
+			v = &sparse.Vector{
+				Idx: append([]int32(nil), sv.Idx...),
+				Val: append([]float64(nil), sv.Val...),
+			}
+			if err := v.Validate(); err != nil {
+				return nil, badRequest("front-end %q: %v", name, err)
+			}
+			if n := len(v.Idx); n > 0 && int(v.Idx[n-1]) >= space.Dim() {
+				return nil, badRequest("front-end %q: index %d outside the %d-dim space", name, v.Idx[n-1], space.Dim())
+			}
+			for _, x := range v.Val {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					return nil, badRequest("front-end %q: non-finite supervector value", name)
+				}
+			}
+			if !sv.Scaled && fe.TFLLR != nil {
+				fe.TFLLR.Apply(v)
+			}
+		case in.Lattice != nil:
+			l, err := latticeFromSlots(in.Lattice, fe.NumPhones)
+			if err != nil {
+				return nil, badRequest("front-end %q: %v", name, err)
+			}
+			v = space.Supervector(l)
+			if fe.TFLLR != nil {
+				fe.TFLLR.Apply(v)
+			}
+		default:
+			return nil, badRequest("front-end %q: empty input", name)
+		}
+		out[q] = v
+	}
+	return out, nil
+}
+
+// latticeFromSlots validates and builds a confusion-network lattice
+// (lattice.FromSausage panics on malformed input, so everything it would
+// reject is checked here first and reported as a 400).
+func latticeFromSlots(slots [][]Slot, numPhones int) (*lattice.Lattice, error) {
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("empty lattice")
+	}
+	ls := make([]lattice.SausageSlot, len(slots))
+	for i, slot := range slots {
+		positive := 0
+		for _, alt := range slot {
+			if alt.Phone < 0 || alt.Phone >= numPhones {
+				return nil, fmt.Errorf("slot %d: phone %d outside inventory [0,%d)", i, alt.Phone, numPhones)
+			}
+			if math.IsNaN(alt.Prob) || math.IsInf(alt.Prob, 0) || alt.Prob < 0 {
+				return nil, fmt.Errorf("slot %d: invalid probability %v", i, alt.Prob)
+			}
+			if alt.Prob > 0 {
+				positive++
+			}
+			ls[i] = append(ls[i], struct {
+				Phone int
+				Prob  float64
+			}{Phone: alt.Phone, Prob: alt.Prob})
+		}
+		if positive == 0 {
+			return nil, fmt.Errorf("slot %d has no positive-probability alternative", i)
+		}
+	}
+	return lattice.FromSausage(ls), nil
+}
+
+// assembleResult turns one job's per-front-end score rows into the wire
+// result: named scores, the fused row (when the bundle has a backend and
+// every front-end contributed — the backend's feature layout needs the
+// complete battery), and the argmax language.
+func assembleResult(m *Model, id string, scores map[int][]float64) ScoreResult {
+	res := ScoreResult{ID: id, Scores: make(map[string][]float64, len(scores))}
+	for q, row := range scores {
+		res.Scores[m.Bundle.FrontEnds[q].Name] = row
+	}
+	numLangs := len(m.Bundle.Languages)
+	if m.Bundle.Fusion != nil && len(scores) == len(m.Bundle.FrontEnds) {
+		fused := make([]float64, numLangs)
+		x := make([]float64, len(m.Bundle.FrontEnds))
+		for k := 0; k < numLangs; k++ {
+			for q := range m.Bundle.FrontEnds {
+				x[q] = scores[q][k]
+			}
+			// Class 1 of the 2-class trial backend is "target".
+			fused[k] = m.Bundle.Fusion.Score(x)[1]
+		}
+		res.Fused = fused
+	}
+	// Decision scores: fused when available, otherwise the mean across the
+	// provided front-ends.
+	decision := res.Fused
+	if decision == nil {
+		decision = make([]float64, numLangs)
+		for _, row := range scores {
+			for k, v := range row {
+				decision[k] += v / float64(len(scores))
+			}
+		}
+	}
+	best := 0
+	for k, v := range decision {
+		if v > decision[best] {
+			best = k
+		}
+	}
+	res.Best = m.Bundle.Languages[best]
+	return res
+}

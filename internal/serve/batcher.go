@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// Submit outcomes that map to HTTP backpressure responses.
+var (
+	// ErrQueueFull means the bounded queue rejected the job (HTTP 429).
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDraining means the batcher no longer accepts work (HTTP 503).
+	ErrDraining = errors.New("serve: draining")
+)
+
+// job is one admitted utterance: the model it resolved against, its
+// TFLLR-scaled vectors by front-end index, and the channel its result is
+// delivered on (buffered, so a departed handler never blocks the
+// dispatcher).
+type job struct {
+	ctx      context.Context
+	model    *Model
+	id       string
+	vectors  map[int]*sparse.Vector
+	result   chan jobResult
+	enqueued time.Time
+}
+
+type jobResult struct {
+	scores map[int][]float64
+	err    error
+}
+
+// trySend delivers a result without ever blocking: the buffer holds one
+// result, and a job is completed at most once (late error deliveries to a
+// departed handler are dropped).
+func (j *job) trySend(res jobResult) {
+	select {
+	case j.result <- res:
+	default:
+	}
+}
+
+// Batcher coalesces admitted jobs into micro-batches: the dispatcher
+// takes the first queued job, keeps collecting until MaxBatch jobs or
+// MaxWait elapsed, then runs the whole batch through one worker pool.
+// Under load the queue is never empty, so batches fill instantly and the
+// wait never triggers; at low load a lone request pays at most MaxWait of
+// added latency.
+type Batcher struct {
+	maxBatch int
+	maxWait  time.Duration
+	workers  int
+	process  func([]*job)
+
+	queue   chan *job
+	drainCh chan struct{}
+	done    chan struct{}
+
+	mu     sync.RWMutex // guards closed against concurrent Submit/Drain
+	closed bool
+}
+
+// Queue-depth gauge and backpressure counters (obs run reports).
+var (
+	obsQueueDepth = obs.GetGauge("serve.queue.depth")
+	obsQueueWait  = obs.GetHistogram("serve.queue.wait_seconds")
+	obsBatches    = obs.GetCounter("serve.batches")
+	obsBatchJobs  = obs.GetCounter("serve.batched_jobs")
+	obsRejected   = obs.GetCounter("serve.queue.rejected")
+	obsPanics     = obs.GetCounter("serve.score.panics")
+	obsExpired    = obs.GetCounter("serve.jobs.expired")
+)
+
+// newBatcher starts a dispatcher. process scores one batch; nil selects
+// the real scoring pass (tests inject blocking or panicking stand-ins).
+func newBatcher(maxBatch, queueDepth, workers int, maxWait time.Duration, process func([]*job)) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b := &Batcher{
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		workers:  workers,
+		queue:    make(chan *job, queueDepth),
+		drainCh:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	b.process = process
+	if b.process == nil {
+		b.process = b.scoreBatch
+	}
+	go b.run()
+	return b
+}
+
+// Submit admits a job without blocking. The job's result channel receives
+// exactly one result unless Submit returns an error.
+func (b *Batcher) Submit(j *job) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return ErrDraining
+	}
+	select {
+	case b.queue <- j:
+		obsQueueDepth.Set(float64(len(b.queue)))
+		return nil
+	default:
+		obsRejected.Inc()
+		return ErrQueueFull
+	}
+}
+
+// Drain stops intake (further Submits fail with ErrDraining), lets the
+// dispatcher finish every queued job, and waits for it to exit — or for
+// ctx. No accepted job is dropped.
+func (b *Batcher) Drain(ctx context.Context) error {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.drainCh)
+	}
+	b.mu.Unlock()
+	select {
+	case <-b.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the dispatcher loop.
+func (b *Batcher) run() {
+	defer close(b.done)
+	for {
+		var first *job
+		select {
+		case first = <-b.queue:
+		case <-b.drainCh:
+			// Intake is closed: everything still queued is finished in
+			// MaxBatch-sized chunks, then the dispatcher exits.
+			for {
+				batch := b.collectQueued()
+				if len(batch) == 0 {
+					return
+				}
+				b.runBatch(batch)
+			}
+		}
+		batch := []*job{first}
+		timer := time.NewTimer(b.maxWait)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case j := <-b.queue:
+				batch = append(batch, j)
+			case <-timer.C:
+				break collect
+			case <-b.drainCh:
+				break collect
+			}
+		}
+		timer.Stop()
+		obsQueueDepth.Set(float64(len(b.queue)))
+		b.runBatch(batch)
+	}
+}
+
+// collectQueued drains up to maxBatch jobs without waiting.
+func (b *Batcher) collectQueued() []*job {
+	var batch []*job
+	for len(batch) < b.maxBatch {
+		select {
+		case j := <-b.queue:
+			batch = append(batch, j)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch invokes process with a safety net: if the whole pass panics
+// (beyond the per-task isolation inside scoreBatch), every job in the
+// batch still gets an error result so no handler hangs until its
+// deadline.
+func (b *Batcher) runBatch(batch []*job) {
+	if len(batch) == 0 {
+		return
+	}
+	obsBatches.Inc()
+	obsBatchJobs.Add(int64(len(batch)))
+	obs.SetGauge("serve.batch.last_size", float64(len(batch)))
+	now := time.Now()
+	for _, j := range batch {
+		obsQueueWait.Observe(now.Sub(j.enqueued).Seconds())
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			obsPanics.Inc()
+			for _, j := range batch {
+				j.trySend(jobResult{err: fmt.Errorf("serve: scoring pass panicked: %v", r)})
+			}
+		}
+	}()
+	b.process(batch)
+}
+
+// scoreBatch runs the real scoring pass with the batcher's pool size.
+func (b *Batcher) scoreBatch(batch []*job) { scoreJobs(batch, b.workers) }
+
+// scoreJobs is the shared SVM scoring pass: the batch flattens into one
+// (job, front-end) task list scored by a single instrumented pool, so B
+// concurrent requests cost one pool spin-up instead of B. Tasks are
+// ordered front-end-major so a front-end's SVM weight matrices are
+// reused across every job in the batch while they are cache-hot, instead
+// of being re-streamed per job.
+func scoreJobs(batch []*job, workers int) {
+	type task struct {
+		j  *job
+		fe int
+	}
+	var tasks []task
+	live := batch[:0:0]
+	for _, j := range batch {
+		if err := j.ctx.Err(); err != nil {
+			// Expired while queued: don't waste the pool on it.
+			obsExpired.Inc()
+			j.trySend(jobResult{err: err})
+			continue
+		}
+		live = append(live, j)
+		for fe := range j.vectors {
+			tasks = append(tasks, task{j: j, fe: fe})
+		}
+	}
+	if len(tasks) == 0 {
+		return
+	}
+	sort.Slice(tasks, func(a, b int) bool { return tasks[a].fe < tasks[b].fe })
+	type taskOut struct {
+		scores []float64
+		err    error
+	}
+	outs := make([]taskOut, len(tasks))
+	parallel.ForPoolWorkers("serve-score", len(tasks), workers, func(i int) {
+		// A panicking task poisons only its own job, not the batch or the
+		// process (parallel.ForWorkers would re-panic on the pool goroutine).
+		defer func() {
+			if r := recover(); r != nil {
+				obsPanics.Inc()
+				outs[i].err = fmt.Errorf("serve: scoring panicked: %v", r)
+			}
+		}()
+		t := tasks[i]
+		fe := &t.j.model.Bundle.FrontEnds[t.fe]
+		outs[i].scores = fe.OVR.Scores(t.j.vectors[t.fe])
+	})
+	// Reassemble per job.
+	scores := make(map[*job]map[int][]float64, len(live))
+	failed := make(map[*job]error)
+	for i, t := range tasks {
+		if outs[i].err != nil {
+			failed[t.j] = outs[i].err
+			continue
+		}
+		m, ok := scores[t.j]
+		if !ok {
+			m = make(map[int][]float64, len(t.j.vectors))
+			scores[t.j] = m
+		}
+		m[t.fe] = outs[i].scores
+	}
+	for _, j := range live {
+		if err, ok := failed[j]; ok {
+			j.trySend(jobResult{err: err})
+			continue
+		}
+		j.trySend(jobResult{scores: scores[j]})
+	}
+}

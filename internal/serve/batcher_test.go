@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newJob(ctx context.Context) *job {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &job{ctx: ctx, result: make(chan jobResult, 1), enqueued: time.Now()}
+}
+
+func echoProcess(batches *[][]*job, mu *sync.Mutex) func([]*job) {
+	return func(batch []*job) {
+		mu.Lock()
+		*batches = append(*batches, batch)
+		mu.Unlock()
+		for _, j := range batch {
+			j.trySend(jobResult{})
+		}
+	}
+}
+
+func TestBatcherCoalesces(t *testing.T) {
+	var batches [][]*job
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	b := newBatcher(8, 64, 1, 50*time.Millisecond, func(batch []*job) {
+		<-gate // hold the dispatcher so later submits pile up in the queue
+		mu.Lock()
+		batches = append(batches, batch)
+		mu.Unlock()
+		for _, j := range batch {
+			j.trySend(jobResult{})
+		}
+	})
+	defer b.Drain(context.Background())
+
+	var jobs []*job
+	for i := 0; i < 9; i++ {
+		j := newJob(nil)
+		jobs = append(jobs, j)
+		if err := b.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	for _, j := range jobs {
+		select {
+		case <-j.result:
+		case <-time.After(2 * time.Second):
+			t.Fatal("job never completed")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// The first batch grabs whatever arrived within MaxWait; once the
+	// dispatcher was gated, the remaining jobs must coalesce rather than
+	// run one batch per job.
+	if len(batches) >= 9 {
+		t.Fatalf("no coalescing: %d batches for 9 jobs", len(batches))
+	}
+	total := 0
+	for _, batch := range batches {
+		if len(batch) > 8 {
+			t.Fatalf("batch of %d exceeds maxBatch 8", len(batch))
+		}
+		total += len(batch)
+	}
+	if total != 9 {
+		t.Fatalf("processed %d jobs, want 9", total)
+	}
+}
+
+func TestBatcherQueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	b := newBatcher(1, 2, 1, time.Millisecond, func(batch []*job) {
+		<-gate
+		for _, j := range batch {
+			j.trySend(jobResult{})
+		}
+	})
+	defer func() {
+		close(gate)
+		b.Drain(context.Background())
+	}()
+
+	// One job occupies the dispatcher; two fill the queue. The queue can
+	// momentarily have free space while the dispatcher pulls a job, so
+	// submit until rejection rather than asserting an exact count.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := b.Submit(newJob(nil)); errors.Is(err, ErrQueueFull) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bounded queue never rejected")
+		}
+	}
+}
+
+func TestBatcherDrainCompletesQueuedJobs(t *testing.T) {
+	var processed atomic.Int64
+	b := newBatcher(4, 64, 1, 10*time.Millisecond, func(batch []*job) {
+		time.Sleep(20 * time.Millisecond)
+		processed.Add(int64(len(batch)))
+		for _, j := range batch {
+			j.trySend(jobResult{})
+		}
+	})
+	const n = 17
+	jobs := make([]*job, n)
+	for i := range jobs {
+		jobs[i] = newJob(nil)
+		if err := b.Submit(jobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := processed.Load(); got != n {
+		t.Fatalf("drain processed %d of %d queued jobs", got, n)
+	}
+	for i, j := range jobs {
+		select {
+		case <-j.result:
+		default:
+			t.Fatalf("job %d got no result after drain", i)
+		}
+	}
+	// Intake is closed for good.
+	if err := b.Submit(newJob(nil)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after Drain: %v, want ErrDraining", err)
+	}
+	// Drain is idempotent.
+	if err := b.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatcherDrainTimeout(t *testing.T) {
+	block := make(chan struct{})
+	b := newBatcher(1, 8, 1, time.Millisecond, func(batch []*job) {
+		<-block
+	})
+	if err := b.Submit(newJob(nil)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := b.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with a stuck pass: %v, want DeadlineExceeded", err)
+	}
+	close(block)
+}
+
+func TestBatcherPanicIsolation(t *testing.T) {
+	b := newBatcher(8, 64, 1, time.Millisecond, func(batch []*job) {
+		panic("scoring exploded")
+	})
+	defer b.Drain(context.Background())
+	j := newJob(nil)
+	if err := b.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-j.result:
+		if res.err == nil || !strings.Contains(res.err.Error(), "scoring exploded") {
+			t.Fatalf("panicking pass delivered %v, want wrapped panic error", res.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("panicking pass left the handler hanging")
+	}
+
+	// The dispatcher survived: a following job still gets a result.
+	j2 := newJob(nil)
+	if err := b.Submit(j2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j2.result:
+	case <-time.After(2 * time.Second):
+		t.Fatal("dispatcher died after a panic")
+	}
+}
+
+func TestScoreJobsSkipsExpired(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := newJob(ctx)
+	scoreJobs([]*job{j}, 1)
+	select {
+	case res := <-j.result:
+		if !errors.Is(res.err, context.Canceled) {
+			t.Fatalf("expired job got %v, want context.Canceled", res.err)
+		}
+	default:
+		t.Fatal("expired job got no result")
+	}
+}

@@ -1,0 +1,104 @@
+// Package serve is the online scoring subsystem: a versioned model
+// registry with atomic hot-swap reload (registry.go), a micro-batching
+// dispatcher that lets concurrent requests share SVM scoring passes
+// (batcher.go), and the HTTP/JSON server that ties them together with
+// deadlines, backpressure, and graceful drain (server.go). cmd/lred is the
+// daemon entry point; cmd/lre -export-models produces the bundles it
+// loads.
+//
+// The design exploits the shape of PPRVSM scoring (paper Eq. 7–9): once
+// the per-front-end TFLLR scalers and one-vs-rest SVM sets are in memory,
+// scoring an utterance is one sparse dot-product pass per (front-end,
+// language) pair — stateless, read-only, and embarrassingly parallel.
+// That is why a single model pointer can be swapped atomically under live
+// traffic (in-flight requests keep scoring against the model they
+// resolved at admission), and why batching helps: a batch of B requests
+// over Q front-ends becomes B·Q independent tasks for one instrumented
+// worker pool, amortizing pool spin-up and keeping every core busy
+// instead of serializing B small passes.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ngram"
+	"repro/internal/obs"
+	"repro/internal/persist"
+)
+
+// Model is one immutable loaded bundle. All fields are read-only after
+// construction; requests capture the pointer at admission and keep using
+// it even if the registry swaps underneath them.
+type Model struct {
+	Bundle   *persist.Bundle
+	Manifest *persist.Manifest
+	// Version counts successful loads in this process (1-based), so
+	// responses and metrics can attribute scores to a model generation.
+	Version  int64
+	LoadedAt time.Time
+
+	feIndex map[string]int
+	spaces  []*ngram.Space
+}
+
+func newModel(b *persist.Bundle, m *persist.Manifest, version int64) *Model {
+	mod := &Model{
+		Bundle:   b,
+		Manifest: m,
+		Version:  version,
+		LoadedAt: time.Now(),
+		feIndex:  make(map[string]int, len(b.FrontEnds)),
+		spaces:   make([]*ngram.Space, len(b.FrontEnds)),
+	}
+	for q := range b.FrontEnds {
+		fe := &b.FrontEnds[q]
+		mod.feIndex[fe.Name] = q
+		mod.spaces[q] = ngram.NewSpace(fe.NumPhones, fe.Order)
+	}
+	return mod
+}
+
+// Registry owns the current model of a scoring process. Reload is
+// serialized; Current is a single atomic load on the hot path.
+type Registry struct {
+	dir string
+
+	mu  sync.Mutex // serializes Reload
+	gen int64
+	cur atomic.Pointer[Model]
+}
+
+// NewRegistry returns a registry that loads bundles from dir. No model is
+// loaded yet; call Reload.
+func NewRegistry(dir string) *Registry {
+	return &Registry{dir: dir}
+}
+
+// Current returns the active model, or nil before the first successful
+// load.
+func (r *Registry) Current() *Model { return r.cur.Load() }
+
+// Dir returns the bundle directory the registry reloads from.
+func (r *Registry) Dir() string { return r.dir }
+
+// Reload loads the bundle directory and atomically swaps it in. On error
+// the previous model stays active — a failed reload must never take a
+// serving process down or degrade it.
+func (r *Registry) Reload() (*Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, m, err := persist.LoadBundle(r.dir)
+	if err != nil {
+		obs.Inc("serve.model.reload_errors")
+		return nil, err
+	}
+	r.gen++
+	mod := newModel(b, m, r.gen)
+	r.cur.Store(mod)
+	obs.Inc("serve.model.reloads")
+	obs.SetGauge("serve.model.version", float64(mod.Version))
+	obs.SetGauge("serve.model.front_ends", float64(len(b.FrontEnds)))
+	return mod, nil
+}

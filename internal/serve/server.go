@@ -1,0 +1,373 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config sizes the server. Zero values select the defaults noted per
+// field.
+type Config struct {
+	// ModelDir is the bundle directory (required); New fails fast if the
+	// initial load fails.
+	ModelDir string
+	// MaxBatch bounds how many requests share one scoring pass (16).
+	MaxBatch int
+	// BatchWait is how long a non-full batch waits for company (2 ms).
+	BatchWait time.Duration
+	// QueueDepth bounds the admission queue; beyond it requests get
+	// 429 + Retry-After (256).
+	QueueDepth int
+	// Workers sizes the scoring pool (GOMAXPROCS).
+	Workers int
+	// RequestTimeout is the per-request deadline covering queueing and
+	// scoring (5 s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: queued work is finished and
+	// open connections closed within it (10 s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (32 MiB).
+	MaxBodyBytes int64
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+}
+
+// Server is the scoring daemon: registry + batcher + HTTP handlers.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	batcher  *Batcher
+	mux      *http.ServeMux
+	draining atomic.Bool
+	inflight atomic.Int64
+}
+
+// New loads the bundle and starts the batching dispatcher. The returned
+// server is ready to serve; pass its Handler to an http.Server or call
+// Run.
+func New(cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	if cfg.ModelDir == "" {
+		return nil, fmt.Errorf("serve: no model directory configured")
+	}
+	s := &Server{cfg: cfg, reg: NewRegistry(cfg.ModelDir)}
+	if _, err := s.reg.Reload(); err != nil {
+		return nil, fmt.Errorf("serve: initial model load: %w", err)
+	}
+	s.batcher = newBatcher(cfg.MaxBatch, cfg.QueueDepth, cfg.Workers, cfg.BatchWait, nil)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/score", s.instrument("score", s.handleScore))
+	s.mux.HandleFunc("/v1/score/batch", s.instrument("batch", s.handleScoreBatch))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("/-/reload", s.instrument("reload", s.handleReload))
+	return s, nil
+}
+
+// Registry exposes the model registry (reload loops, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// instrument wraps a handler with per-endpoint request counts, latency
+// histograms, and the shared in-flight gauge.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := obs.GetCounter("serve.http." + name + ".requests")
+	lat := obs.GetHistogram("serve.http." + name + ".seconds")
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		obs.SetGauge("serve.http.inflight", float64(s.inflight.Add(1)))
+		t0 := time.Now()
+		defer func() {
+			lat.Observe(time.Since(t0).Seconds())
+			obs.SetGauge("serve.http.inflight", float64(s.inflight.Add(-1)))
+		}()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// admit runs the checks every scoring request passes before decode:
+// method, drain state, and model presence. It returns the model to score
+// against, or nil after writing the response.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) *Model {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return nil
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil
+	}
+	m := s.reg.Current()
+	if m == nil {
+		writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return nil
+	}
+	return m
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// submit admits one resolved utterance into the batcher and translates
+// backpressure into HTTP semantics.
+func (s *Server) submit(ctx context.Context, m *Model, id string, req *ScoreRequest) (*job, int, error) {
+	vectors, err := buildVectors(m, req)
+	if err != nil {
+		var re *requestError
+		if errors.As(err, &re) {
+			return nil, http.StatusBadRequest, err
+		}
+		return nil, http.StatusInternalServerError, err
+	}
+	j := &job{
+		ctx:      ctx,
+		model:    m,
+		id:       id,
+		vectors:  vectors,
+		result:   make(chan jobResult, 1),
+		enqueued: time.Now(),
+	}
+	switch err := s.batcher.Submit(j); {
+	case errors.Is(err, ErrQueueFull):
+		return nil, http.StatusTooManyRequests, err
+	case errors.Is(err, ErrDraining):
+		return nil, http.StatusServiceUnavailable, err
+	case err != nil:
+		return nil, http.StatusInternalServerError, err
+	}
+	return j, 0, nil
+}
+
+// await blocks until the job completes or its deadline passes.
+func await(ctx context.Context, j *job) (jobResult, error) {
+	select {
+	case res := <-j.result:
+		return res, nil
+	case <-ctx.Done():
+		return jobResult{}, ctx.Err()
+	}
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	m := s.admit(w, r)
+	if m == nil {
+		return
+	}
+	var req ScoreRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	j, status, err := s.submit(ctx, m, req.ID, &req)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	res, err := await(ctx, j)
+	if err != nil {
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+		return
+	}
+	if res.err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, "%v", res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ScoreResponse{
+		ModelVersion: m.Version,
+		Languages:    m.Bundle.Languages,
+		ScoreResult:  assembleResult(m, req.ID, res.scores),
+	})
+}
+
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	m := s.admit(w, r)
+	if m == nil {
+		return
+	}
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Utterances) == 0 {
+		writeError(w, http.StatusBadRequest, "batch names no utterances")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	// Admit every utterance first (they coalesce into shared scoring
+	// passes), then gather; per-utterance faults degrade that item only.
+	jobs := make([]*job, len(req.Utterances))
+	results := make([]ScoreResult, len(req.Utterances))
+	for i := range req.Utterances {
+		u := &req.Utterances[i]
+		j, _, err := s.submit(ctx, m, u.ID, u)
+		if err != nil {
+			results[i] = ScoreResult{ID: u.ID, Error: err.Error()}
+			continue
+		}
+		jobs[i] = j
+	}
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		res, err := await(ctx, j)
+		switch {
+		case err != nil:
+			results[i] = ScoreResult{ID: j.id, Error: err.Error()}
+		case res.err != nil:
+			results[i] = ScoreResult{ID: j.id, Error: res.err.Error()}
+		default:
+			results[i] = assembleResult(m, j.id, res.scores)
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{
+		ModelVersion: m.Version,
+		Languages:    m.Bundle.Languages,
+		Results:      results,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	m := s.reg.Current()
+	if m == nil {
+		writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ready",
+		"model_version": m.Version,
+		"loaded_at":     m.LoadedAt.UTC().Format(time.RFC3339),
+		"front_ends":    m.Manifest.FrontEnds,
+		"languages":     len(m.Bundle.Languages),
+		"fusion":        m.Bundle.Fusion != nil,
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	rep := obs.Snapshot()
+	rep.Meta = map[string]string{"service": "lred"}
+	if m := s.reg.Current(); m != nil {
+		rep.Meta["model_version"] = fmt.Sprintf("%d", m.Version)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	rep.WriteJSON(w)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	m, err := s.reg.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload failed (previous model still active): %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model_version": m.Version,
+		"manifest":      m.Manifest,
+	})
+}
+
+// Run serves on l until ctx is cancelled (the daemon wires SIGTERM/SIGINT
+// into that), then drains gracefully: new scoring work is rejected with
+// 503, every queued job is finished and delivered, and open connections
+// close — all within DrainTimeout. A clean drain returns nil.
+func (s *Server) Run(ctx context.Context, l net.Listener) error {
+	hs := &http.Server{Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(l) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	return s.drain(hs)
+}
+
+func (s *Server) drain(hs *http.Server) error {
+	s.draining.Store(true)
+	obs.SetGauge("serve.draining", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	// Finish the queue first: handlers blocked in await are the open
+	// connections Shutdown waits on, and they can only finish once the
+	// dispatcher delivers their results.
+	if err := s.batcher.Drain(ctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	return nil
+}

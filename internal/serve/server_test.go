@@ -1,0 +1,636 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fusion"
+	"repro/internal/ngram"
+	"repro/internal/persist"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+	"repro/internal/svm"
+)
+
+// Test fixture: a tiny synthetic bundle (2 front-ends over a 5-phone
+// order-2 space, 3 languages, fusion backend) that trains in
+// milliseconds. Different seeds give different SVM weights, which is what
+// the hot-reload test uses to tell model generations apart.
+
+const (
+	tbPhones = 5
+	tbOrder  = 2
+	tbLangs  = 3
+)
+
+func testBundle(seed uint64) *persist.Bundle {
+	space := ngram.NewSpace(tbPhones, tbOrder)
+	r := rng.New(seed)
+	b := &persist.Bundle{Languages: []string{"alpha", "beta", "gamma"}}
+	var all [][]*sparse.Vector
+	var labels []int
+	for f := 0; f < 2; f++ {
+		var xs []*sparse.Vector
+		labels = labels[:0]
+		for i := 0; i < 60; i++ {
+			k := i % tbLangs
+			m := map[int32]float64{
+				int32(k * 7):                       2 + 0.3*r.Norm(),
+				int32((k*7 + f + 1) % space.Dim()): 1 + 0.2*r.Norm(),
+				int32(r.Intn(space.Dim())):         0.5 * r.Float64(),
+			}
+			xs = append(xs, sparse.FromMap(m))
+			labels = append(labels, k)
+		}
+		tf := ngram.EstimateTFLLR(xs, space.Dim(), 1e-5)
+		for _, v := range xs {
+			tf.Apply(v)
+		}
+		opt := svm.DefaultOptions()
+		opt.Seed = seed + uint64(f)
+		b.FrontEnds = append(b.FrontEnds, persist.FrontEndModel{
+			Name:      fmt.Sprintf("FE%d", f),
+			NumPhones: tbPhones,
+			Order:     tbOrder,
+			TFLLR:     tf,
+			OVR:       svm.TrainOneVsRest(xs, labels, tbLangs, space.Dim(), opt),
+		})
+		all = append(all, xs)
+	}
+	var devX [][]float64
+	var devY []int
+	for i := range all[0] {
+		s0 := b.FrontEnds[0].OVR.Scores(all[0][i])
+		s1 := b.FrontEnds[1].OVR.Scores(all[1][i])
+		for k := 0; k < tbLangs; k++ {
+			devX = append(devX, []float64{s0[k], s1[k]})
+			if labels[i] == k {
+				devY = append(devY, 1)
+			} else {
+				devY = append(devY, 0)
+			}
+		}
+	}
+	bk, err := fusion.Train(devX, devY, 2, fusion.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	b.Fusion = bk
+	return b
+}
+
+func writeTestBundle(t testing.TB, dir string, seed uint64) *persist.Bundle {
+	t.Helper()
+	b := testBundle(seed)
+	if err := persist.SaveBundle(dir, b, persist.Manifest{Seed: seed, Scale: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// testVector is a deterministic raw (pre-TFLLR) supervector inside the
+// fixture space.
+func testVector(seed uint64) *sparse.Vector {
+	r := rng.New(seed ^ 0xbeef)
+	space := ngram.NewSpace(tbPhones, tbOrder)
+	m := make(map[int32]float64)
+	for i := 0; i < 6; i++ {
+		m[int32(r.Intn(space.Dim()))] = r.Float64()
+	}
+	return sparse.FromMap(m)
+}
+
+// expectedScores is the ground truth the server must reproduce exactly:
+// TFLLR-apply then OVR-score, per front-end, on a fresh copy.
+func expectedScores(b *persist.Bundle, raw *sparse.Vector) map[string][]float64 {
+	out := make(map[string][]float64)
+	for i := range b.FrontEnds {
+		fe := &b.FrontEnds[i]
+		v := raw.Clone()
+		if fe.TFLLR != nil {
+			fe.TFLLR.Apply(v)
+		}
+		out[fe.Name] = fe.OVR.Scores(v)
+	}
+	return out
+}
+
+func newTestServer(t *testing.T, dir string, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{ModelDir: dir, BatchWait: time.Millisecond}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.batcher.Drain(context.Background())
+	})
+	return s
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func scoreRequestFor(b *persist.Bundle, raw *sparse.Vector) ScoreRequest {
+	req := ScoreRequest{ID: "u1", FrontEnds: make(map[string]FrontEndInput)}
+	for i := range b.FrontEnds {
+		req.FrontEnds[b.FrontEnds[i].Name] = FrontEndInput{
+			Supervector: &Supervector{Idx: raw.Idx, Val: raw.Val},
+		}
+	}
+	return req
+}
+
+func TestScoreSupervectorMatchesDirectScoring(t *testing.T) {
+	dir := t.TempDir()
+	b := writeTestBundle(t, dir, 1)
+	s := newTestServer(t, dir, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	raw := testVector(7)
+	want := expectedScores(b, raw)
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/score", scoreRequestFor(b, raw))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr ScoreResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.ModelVersion != 1 {
+		t.Fatalf("model version %d, want 1", sr.ModelVersion)
+	}
+	if len(sr.Scores) != len(want) {
+		t.Fatalf("scored %d front-ends, want %d", len(sr.Scores), len(want))
+	}
+	for fe, row := range want {
+		for k := range row {
+			if sr.Scores[fe][k] != row[k] {
+				t.Fatalf("%s score[%d] = %v, want %v", fe, k, sr.Scores[fe][k], row[k])
+			}
+		}
+	}
+	// All front-ends present → fused scores from the trial backend.
+	if len(sr.Fused) != tbLangs {
+		t.Fatalf("fused has %d entries, want %d", len(sr.Fused), tbLangs)
+	}
+	x := make([]float64, len(b.FrontEnds))
+	for k := 0; k < tbLangs; k++ {
+		for q := range b.FrontEnds {
+			x[q] = want[b.FrontEnds[q].Name][k]
+		}
+		if got := b.Fusion.Score(x)[1]; sr.Fused[k] != got {
+			t.Fatalf("fused[%d] = %v, want %v", k, sr.Fused[k], got)
+		}
+	}
+	if sr.Best == "" {
+		t.Fatal("no best language")
+	}
+}
+
+func TestScoreLatticeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	b := writeTestBundle(t, dir, 2)
+	s := newTestServer(t, dir, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One front-end by lattice: the server must decode it to the same
+	// supervector the ngram layer produces locally.
+	slots := [][]Slot{
+		{{Phone: 0, Prob: 0.7}, {Phone: 1, Prob: 0.3}},
+		{{Phone: 2, Prob: 1}},
+		{{Phone: 3, Prob: 0.5}, {Phone: 4, Prob: 0.5}},
+	}
+	req := ScoreRequest{FrontEnds: map[string]FrontEndInput{
+		b.FrontEnds[0].Name: {Lattice: slots},
+	}}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/score", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr ScoreResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	l, err := latticeFromSlots(slots, tbPhones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ngram.NewSpace(tbPhones, tbOrder).Supervector(l)
+	b.FrontEnds[0].TFLLR.Apply(v)
+	want := b.FrontEnds[0].OVR.Scores(v)
+	got := sr.Scores[b.FrontEnds[0].Name]
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("lattice score[%d] = %v, want %v", k, got[k], want[k])
+		}
+	}
+	// Partial battery → no fused row.
+	if sr.Fused != nil {
+		t.Fatal("fused scores from a partial front-end set")
+	}
+}
+
+func TestScoreBatchEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	b := writeTestBundle(t, dir, 3)
+	s := newTestServer(t, dir, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var req BatchRequest
+	var wants []map[string][]float64
+	for i := 0; i < 9; i++ {
+		raw := testVector(uint64(100 + i))
+		u := scoreRequestFor(b, raw)
+		u.ID = fmt.Sprintf("u%d", i)
+		req.Utterances = append(req.Utterances, u)
+		wants = append(wants, expectedScores(b, raw))
+	}
+	// One utterance with a bogus front-end degrades only itself.
+	req.Utterances[4].FrontEnds = map[string]FrontEndInput{"NOPE": {}}
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/score/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(req.Utterances) {
+		t.Fatalf("%d results for %d utterances", len(br.Results), len(req.Utterances))
+	}
+	for i, res := range br.Results {
+		if i == 4 {
+			if res.Error == "" {
+				t.Fatal("bad utterance did not report an error")
+			}
+			continue
+		}
+		if res.Error != "" {
+			t.Fatalf("utterance %d failed: %s", i, res.Error)
+		}
+		for fe, row := range wants[i] {
+			for k := range row {
+				if res.Scores[fe][k] != row[k] {
+					t.Fatalf("utterance %d %s score[%d] mismatch", i, fe, k)
+				}
+			}
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	dir := t.TempDir()
+	b := writeTestBundle(t, dir, 4)
+	s := newTestServer(t, dir, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	fe := b.FrontEnds[0].Name
+
+	cases := []struct {
+		name string
+		req  ScoreRequest
+	}{
+		{"no front-ends", ScoreRequest{}},
+		{"unknown front-end", ScoreRequest{FrontEnds: map[string]FrontEndInput{"XX": {Supervector: &Supervector{}}}}},
+		{"empty input", ScoreRequest{FrontEnds: map[string]FrontEndInput{fe: {}}}},
+		{"both inputs", ScoreRequest{FrontEnds: map[string]FrontEndInput{fe: {
+			Supervector: &Supervector{Idx: []int32{0}, Val: []float64{1}},
+			Lattice:     [][]Slot{{{Phone: 0, Prob: 1}}},
+		}}}},
+		{"length mismatch", ScoreRequest{FrontEnds: map[string]FrontEndInput{fe: {
+			Supervector: &Supervector{Idx: []int32{0, 1}, Val: []float64{1}},
+		}}}},
+		{"unsorted indices", ScoreRequest{FrontEnds: map[string]FrontEndInput{fe: {
+			Supervector: &Supervector{Idx: []int32{3, 1}, Val: []float64{1, 1}},
+		}}}},
+		{"index out of space", ScoreRequest{FrontEnds: map[string]FrontEndInput{fe: {
+			Supervector: &Supervector{Idx: []int32{9999}, Val: []float64{1}},
+		}}}},
+		{"phone out of inventory", ScoreRequest{FrontEnds: map[string]FrontEndInput{fe: {
+			Lattice: [][]Slot{{{Phone: 99, Prob: 1}}},
+		}}}},
+		{"dead slot", ScoreRequest{FrontEnds: map[string]FrontEndInput{fe: {
+			Lattice: [][]Slot{{{Phone: 0, Prob: 0}}},
+		}}}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/score", tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (want 400): %s", tc.name, resp.StatusCode, body)
+		}
+	}
+
+	if resp, _ := ts.Client().Get(ts.URL + "/v1/score"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/score: status %d (want 405)", resp.StatusCode)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/score", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d (want 400)", resp.StatusCode)
+	}
+}
+
+func TestHealthReadyMetrics(t *testing.T) {
+	dir := t.TempDir()
+	writeTestBundle(t, dir, 5)
+	s := newTestServer(t, dir, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/healthz", "/readyz", "/metricsz"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, body)
+		}
+		if !json.Valid(body) {
+			t.Fatalf("%s: not JSON: %s", path, body)
+		}
+	}
+}
+
+// TestHotReloadUnderLoad proves the acceptance property: reloads swap the
+// model atomically without dropping or corrupting in-flight requests.
+// Clients hammer /v1/score while the test rewrites the bundle directory
+// and reloads repeatedly; every response must be 200 and bit-identical to
+// one of the model generations' direct scores.
+func TestHotReloadUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	bundles := map[int64]*persist.Bundle{1: writeTestBundle(t, dir, 10)}
+	s := newTestServer(t, dir, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	raw := testVector(42)
+	// Reloads are deterministic (seed 20+i%2 for generation 2+i), so every
+	// generation's expected scores are known before the storm starts — no
+	// window where a client can see a version the test can't check.
+	wantByVersion := map[int64]map[string][]float64{1: expectedScores(bundles[1], raw)}
+	nextBundles := make([]*persist.Bundle, 6)
+	for i := range nextBundles {
+		nextBundles[i] = testBundle(uint64(20 + i%2))
+		wantByVersion[int64(2+i)] = expectedScores(nextBundles[i], raw)
+	}
+	reqBody, err := json.Marshal(scoreRequestFor(bundles[1], raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var failures atomic.Int64
+	var scored atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := ts.Client().Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(reqBody))
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("request error: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					t.Errorf("status %d during reload: %s", resp.StatusCode, body)
+					return
+				}
+				var sr ScoreResponse
+				if err := json.Unmarshal(body, &sr); err != nil {
+					failures.Add(1)
+					t.Error(err)
+					return
+				}
+				want, ok := wantByVersion[sr.ModelVersion]
+				if !ok {
+					failures.Add(1)
+					t.Errorf("response from unknown model version %d", sr.ModelVersion)
+					return
+				}
+				for fe, row := range want {
+					for k := range row {
+						if sr.Scores[fe][k] != row[k] {
+							failures.Add(1)
+							t.Errorf("version %d: %s score[%d] mismatch", sr.ModelVersion, fe, k)
+							return
+						}
+					}
+				}
+				scored.Add(1)
+			}
+		}()
+	}
+
+	// Reload 6 new generations under load, alternating bundle contents.
+	for i, b := range nextBundles {
+		if err := persist.SaveBundle(dir, b, persist.Manifest{Seed: uint64(20 + i%2)}); err != nil {
+			t.Fatal(err)
+		}
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/-/reload", struct{}{})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload: status %d: %s", resp.StatusCode, body)
+		}
+		var rr struct {
+			ModelVersion int64 `json:"model_version"`
+		}
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.ModelVersion != int64(2+i) {
+			t.Fatalf("reload %d produced version %d, want %d", i, rr.ModelVersion, 2+i)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d failed requests during hot reload", failures.Load())
+	}
+	if scored.Load() == 0 {
+		t.Fatal("no requests completed during the reload storm")
+	}
+	if v := s.Registry().Current().Version; v != 7 {
+		t.Fatalf("final model version %d, want 7", v)
+	}
+}
+
+// TestGracefulDrain proves the acceptance property: under concurrent
+// load, shutdown (a) finishes every accepted request, (b) rejects new
+// work with 503 while draining, and (c) returns cleanly within the drain
+// deadline.
+func TestGracefulDrain(t *testing.T) {
+	dir := t.TempDir()
+	b := writeTestBundle(t, dir, 11)
+	s := newTestServer(t, dir, func(c *Config) {
+		c.DrainTimeout = 5 * time.Second
+		c.MaxBatch = 64
+	})
+	// Slow the scoring pass down so accepted jobs are still queued when
+	// the drain starts.
+	s.batcher.Drain(context.Background())
+	s.batcher = newBatcher(64, 256, 2, 20*time.Millisecond, func(batch []*job) {
+		time.Sleep(150 * time.Millisecond)
+		scoreJobs(batch, 2)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	raw := testVector(3)
+	reqBody, _ := json.Marshal(scoreRequestFor(b, raw))
+
+	const accepted = 24
+	statuses := make(chan int, accepted)
+	var wg sync.WaitGroup
+	for i := 0; i < accepted; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Post(base+"/v1/score", "application/json", bytes.NewReader(reqBody))
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	// Let the requests reach the queue, then pull the plug.
+	time.Sleep(60 * time.Millisecond)
+	start := time.Now()
+	cancel()
+
+	// While draining, new work must be rejected with 503 (the listener is
+	// still open: Shutdown only runs after the queue is finished).
+	saw503 := false
+	for i := 0; i < 50 && !saw503; i++ {
+		resp, err := client.Post(base+"/v1/score", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			break // listener already closed — drain finished
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			saw503 = true
+		} else if resp.StatusCode != http.StatusOK {
+			t.Errorf("probe during drain: status %d", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	wg.Wait()
+	close(statuses)
+	ok200 := 0
+	for st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok200++
+		case http.StatusServiceUnavailable:
+			// Arrived after the drain flag flipped — rejected, not dropped.
+		default:
+			t.Errorf("accepted request finished with status %d", st)
+		}
+	}
+	if ok200 == 0 {
+		t.Fatal("no accepted request completed during drain")
+	}
+	if !saw503 {
+		t.Error("never observed a 503 while draining")
+	}
+	if err := <-runErr; err != nil {
+		t.Fatalf("Run returned %v, want nil (clean drain)", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("drain took %v, beyond the 5s deadline", d)
+	}
+}
+
+func TestNewFailsFastOnBadBundleDir(t *testing.T) {
+	_, err := New(Config{ModelDir: t.TempDir()})
+	if err == nil {
+		t.Fatal("New accepted an empty bundle directory")
+	}
+}
+
+func TestRequestDeadlineWhileQueued(t *testing.T) {
+	dir := t.TempDir()
+	b := writeTestBundle(t, dir, 12)
+	s := newTestServer(t, dir, func(c *Config) {
+		c.RequestTimeout = 30 * time.Millisecond
+	})
+	// A scoring pass slower than the request deadline: the handler must
+	// come back with 504, not hang.
+	s.batcher.Drain(context.Background())
+	s.batcher = newBatcher(16, 64, 2, time.Millisecond, func(batch []*job) {
+		time.Sleep(120 * time.Millisecond)
+		scoreJobs(batch, 2)
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	raw := testVector(4)
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/score", scoreRequestFor(b, raw))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (want 504): %s", resp.StatusCode, body)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+		t.Fatalf("no error body: %s", body)
+	}
+}
