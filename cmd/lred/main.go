@@ -19,8 +19,18 @@
 //
 // Robustness: per-request deadlines (-timeout), 429 + Retry-After when
 // the admission queue is full (-queue), panic-isolated scoring workers,
-// and graceful drain on SIGTERM/SIGINT — queued work finishes, new work
-// gets 503, and the process exits 0 within -drain-timeout.
+// graceful front-end degradation (a failing recognizer/SVM is dropped
+// from fusion and the response is marked degraded), reload retry/backoff
+// behind a circuit breaker (-reload-retries, -reload-backoff,
+// -breaker-trip, -breaker-cooldown), and graceful drain on
+// SIGTERM/SIGINT — queued work finishes, new work gets 503, and the
+// process exits 0 within -drain-timeout.
+//
+// Chaos mode enables the deterministic fault-injection layer for the
+// whole process (see internal/faultinject; TESTING.md documents the spec
+// grammar). The CI chaos-smoke job runs the daemon this way:
+//
+//	lred -models ./models -chaos 'seed=7; serve.score.fe.HU:error:p=0.2'
 //
 // Benchmark mode (writes BENCH_serve.json and exits):
 //
@@ -37,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 )
 
@@ -52,6 +63,12 @@ func main() {
 		workers      = flag.Int("workers", 0, "scoring pool size (0 = GOMAXPROCS)")
 		timeout      = flag.Duration("timeout", 5*time.Second, "per-request deadline (queueing + scoring)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget on SIGTERM")
+
+		reloadRetries = flag.Int("reload-retries", 2, "extra attempts after a failed model reload")
+		reloadBackoff = flag.Duration("reload-backoff", 100*time.Millisecond, "initial reload retry backoff (doubles per retry)")
+		breakerTrip   = flag.Int("breaker-trip", 3, "consecutive failed reloads that open the circuit breaker")
+		breakerCool   = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker rejects reloads before probing")
+		chaos         = flag.String("chaos", "", "fault-injection plan, e.g. 'seed=7; serve.score.fe.HU:error:p=0.2' (testing only)")
 
 		benchOut      = flag.String("bench-out", "", "run the micro-batching load benchmark, write the report here, and exit")
 		benchScale    = flag.String("bench-scale", "small", "benchmark corpus scale")
@@ -80,6 +97,15 @@ func main() {
 	if *models == "" {
 		log.Fatal("no -models directory (export one with: lre -export-models <dir>)")
 	}
+	if *chaos != "" {
+		plan, err := faultinject.ParsePlan(*chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faultinject.Enable(plan)
+		log.Printf("CHAOS MODE: fault injection enabled (seed=%d, %d rules) — not for production",
+			plan.Seed, len(plan.Rules))
+	}
 	s, err := serve.New(serve.Config{
 		ModelDir:       *models,
 		MaxBatch:       *maxBatch,
@@ -88,6 +114,12 @@ func main() {
 		Workers:        *workers,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drainTimeout,
+		Reload: serve.ReloadPolicy{
+			Retries:     *reloadRetries,
+			BaseBackoff: *reloadBackoff,
+			TripAfter:   *breakerTrip,
+			Cooldown:    *breakerCool,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -105,13 +137,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
-	// SIGHUP hot-reloads the bundle; in-flight requests keep the model
-	// they were admitted with.
+	// SIGHUP hot-reloads the bundle through the retry/backoff + breaker
+	// policy; in-flight requests keep the model they were admitted with.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			if m, err := s.Registry().Reload(); err != nil {
+			if m, err := s.Reload(); err != nil {
 				log.Printf("reload failed (previous model still active): %v", err)
 			} else {
 				log.Printf("reloaded bundle: now v%d", m.Version)

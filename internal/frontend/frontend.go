@@ -25,6 +25,7 @@ package frontend
 import (
 	"fmt"
 
+	"repro/internal/faultinject"
 	"repro/internal/lattice"
 	"repro/internal/ngram"
 	"repro/internal/obs"
@@ -236,6 +237,10 @@ func (f *FrontEnd) drawConfusion(r *rng.RNG, p int, ch synthlang.Channel) int {
 // utterance id, front-end name) makes decoding deterministic and
 // cacheable.
 func (f *FrontEnd) Decode(r *rng.RNG, u *synthlang.Utterance) *lattice.Lattice {
+	// Chaos hook: Decode has no error path, so injected faults surface as
+	// panics or stalls here — the isolation layers in callers (worker
+	// pools, the serve batcher) are what the chaos suite exercises.
+	faultinject.Disturb("frontend.decode")
 	acc := f.accuracy(u.Channel)
 	var slots []lattice.SausageSlot
 	emit := func(truePhone int) {

@@ -343,6 +343,48 @@ func (b *Backend) Score(x []float64) []float64 {
 	return out
 }
 
+// ScoreMasked scores a stacked vector in which some subsystem features
+// are missing (present[q] == false): each missing feature is imputed with
+// the mean of the surviving features, then the backend scores the
+// completed vector exactly as Score would. This is the serving layer's
+// documented degraded-fusion contract (DESIGN.md "Graceful degradation"):
+// subsystem scores for the same trial are strongly correlated — that
+// correlation is why fusion helps at all — so the survivors' mean is the
+// minimum-assumption estimate of a dead subsystem's score, and it keeps
+// the LDA projection's input scale (and hence the backend's calibration)
+// intact instead of zeroing a feature the projection weights heavily.
+// With every feature present the result is bit-identical to Score; with
+// none present it returns nil (the caller falls back to its own combiner).
+func (b *Backend) ScoreMasked(x []float64, present []bool) []float64 {
+	if len(present) != len(x) {
+		panic("fusion: present mask length mismatch")
+	}
+	var sum float64
+	n := 0
+	for q, ok := range present {
+		if ok {
+			sum += x[q]
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	if n == len(x) {
+		return b.Score(x)
+	}
+	mean := sum / float64(n)
+	filled := make([]float64, len(x))
+	for q := range x {
+		if present[q] {
+			filled[q] = x[q]
+		} else {
+			filled[q] = mean
+		}
+	}
+	return b.Score(filled)
+}
+
 // ScoreAll scores a batch.
 func (b *Backend) ScoreAll(x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))

@@ -1,0 +1,184 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// trainedBackend fits a small 2-class backend on synthetic subsystem
+// scores: both subsystems see the same underlying signal plus independent
+// noise, which is the correlation structure real fused subsystems have.
+func trainedBackend(t *testing.T, nSub int, seed uint64) (*Backend, [][]float64, []int) {
+	t.Helper()
+	r := rng.New(seed)
+	var x [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		k := i % 2
+		signal := -1.0
+		if k == 1 {
+			signal = 1.0
+		}
+		row := make([]float64, nSub)
+		for q := range row {
+			row[q] = signal + 0.6*r.Norm()
+		}
+		x = append(x, row)
+		y = append(y, k)
+	}
+	b, err := Train(x, y, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, x, y
+}
+
+func TestScoreMaskedAllPresentBitIdentical(t *testing.T) {
+	b, x, _ := trainedBackend(t, 4, 31)
+	all := []bool{true, true, true, true}
+	for _, xi := range x[:50] {
+		want := b.Score(xi)
+		got := b.ScoreMasked(xi, all)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("all-present ScoreMasked diverged: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestScoreMaskedEqualsHandImputation(t *testing.T) {
+	b, x, _ := trainedBackend(t, 4, 32)
+	for _, dead := range []int{0, 2, 3} {
+		present := []bool{true, true, true, true}
+		present[dead] = false
+		for _, xi := range x[:50] {
+			// The documented contract: the missing subsystem is imputed with
+			// the survivors' mean, then scored exactly as Score would.
+			var sum float64
+			for q, ok := range present {
+				if ok {
+					sum += xi[q]
+				}
+			}
+			mean := sum / 3
+			filled := append([]float64(nil), xi...)
+			filled[dead] = mean
+			want := b.Score(filled)
+			got := b.ScoreMasked(xi, present)
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("dead=%d: masked %v, hand-imputed %v", dead, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestScoreMaskedEdgeCases(t *testing.T) {
+	b, x, _ := trainedBackend(t, 3, 33)
+	if got := b.ScoreMasked(x[0], []bool{false, false, false}); got != nil {
+		t.Fatalf("no survivors should return nil, got %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mask length mismatch did not panic")
+		}
+	}()
+	b.ScoreMasked(x[0], []bool{true})
+}
+
+// TestFusedMonotoneUnderDuplicatedSubsystems: when every subsystem
+// reports the same score s (the fully duplicated-subsystem input), the
+// fused target log-odds must be monotone nondecreasing in s — duplication
+// must not let the backend invert the evidence.
+func TestFusedMonotoneUnderDuplicatedSubsystems(t *testing.T) {
+	for _, nSub := range []int{2, 4} {
+		b, _, _ := trainedBackend(t, nSub, 34)
+		prev := math.Inf(-1)
+		for s := -3.0; s <= 3.0; s += 0.125 {
+			x := make([]float64, nSub)
+			for q := range x {
+				x[q] = s
+			}
+			got := b.Score(x)[1]
+			if got < prev {
+				t.Fatalf("nSub=%d: fused log-odds not monotone: f(%v) = %v < %v", nSub, s, got, prev)
+			}
+			prev = got
+		}
+		if !(prev > b.Score(make([]float64, nSub))[1]) {
+			t.Fatalf("nSub=%d: fused log-odds flat across the whole range", nSub)
+		}
+	}
+}
+
+// TestStackScoresDuplicationLinearity: duplicating every subsystem while
+// halving its weight leaves the total evidence per (utterance, class)
+// unchanged — each duplicated column pair sums to the original column.
+func TestStackScoresDuplicationLinearity(t *testing.T) {
+	r := rng.New(35)
+	const q, m, k = 3, 7, 4
+	mats := make([][][]float64, q)
+	for s := range mats {
+		mats[s] = make([][]float64, m)
+		for j := range mats[s] {
+			row := make([]float64, k)
+			for c := range row {
+				row[c] = r.Norm()
+			}
+			mats[s][j] = row
+		}
+	}
+	weights := []float64{0.5, 0.3, 0.2}
+	orig := StackScores(mats, weights)
+
+	dup := make([][][]float64, 0, 2*q)
+	dupW := make([]float64, 0, 2*q)
+	for s := range mats {
+		dup = append(dup, mats[s], mats[s])
+		dupW = append(dupW, weights[s]/2, weights[s]/2)
+	}
+	doubled := StackScores(dup, dupW)
+	for j := 0; j < m; j++ {
+		for s := 0; s < q; s++ {
+			for c := 0; c < k; c++ {
+				sum := doubled[j][(2*s)*k+c] + doubled[j][(2*s+1)*k+c]
+				if math.Abs(sum-orig[j][s*k+c]) > 1e-12 {
+					t.Fatalf("duplicated columns (%d,%d,%d) sum to %v, want %v", j, s, c, sum, orig[j][s*k+c])
+				}
+			}
+		}
+	}
+}
+
+// TestSelectionWeightsMonotone: more confident trials in a subsystem can
+// only raise its weight (and lower everyone else's); weights always sum
+// to 1, and a zero total degrades to uniform.
+func TestSelectionWeightsMonotone(t *testing.T) {
+	base := []int{10, 20, 30}
+	w0 := SelectionWeights(base)
+	var sum float64
+	for _, v := range w0 {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	bumped := []int{10, 35, 30}
+	w1 := SelectionWeights(bumped)
+	if !(w1[1] > w0[1]) {
+		t.Fatalf("raising subsystem 1's count did not raise its weight: %v vs %v", w1, w0)
+	}
+	if !(w1[0] < w0[0]) || !(w1[2] < w0[2]) {
+		t.Fatalf("other subsystems' weights did not fall: %v vs %v", w1, w0)
+	}
+	uni := SelectionWeights([]int{0, 0, 0, 0})
+	for _, v := range uni {
+		if v != 0.25 {
+			t.Fatalf("zero counts: %v, want uniform", uni)
+		}
+	}
+}

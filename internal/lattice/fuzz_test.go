@@ -1,0 +1,92 @@
+package lattice_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+// decodeSausage maps fuzz bytes onto a sausage and a phone-inventory
+// size. The encoding deliberately reaches every validation branch of
+// ParseSausage: empty slots, out-of-range and negative phones, and
+// NaN/±Inf/negative probabilities via reserved byte values.
+func decodeSausage(data []byte) ([]lattice.SausageSlot, int) {
+	if len(data) == 0 {
+		return nil, 0
+	}
+	numPhones := int(data[0]%9) - 1 // -1..7; <=0 disables the range check
+	data = data[1:]
+	var slots []lattice.SausageSlot
+	for len(data) >= 1 {
+		nAlt := int(data[0] % 4) // 0 → empty slot (must be rejected)
+		data = data[1:]
+		var slot lattice.SausageSlot
+		for a := 0; a < nAlt && len(data) >= 2; a++ {
+			phone := int(int8(data[0]))
+			var prob float64
+			switch b := data[1]; b {
+			case 255:
+				prob = math.NaN()
+			case 254:
+				prob = math.Inf(1)
+			case 253:
+				prob = math.Inf(-1)
+			case 252:
+				prob = -1.5
+			default:
+				prob = float64(b) / 64
+			}
+			slot = append(slot, struct {
+				Phone int
+				Prob  float64
+			}{Phone: phone, Prob: prob})
+			data = data[2:]
+		}
+		slots = append(slots, slot)
+	}
+	return slots, numPhones
+}
+
+// FuzzParseSausage: the untrusted-input parser must never panic, and on
+// success must hand back a connected lattice with a finite likelihood
+// that matches what the trusted builder produces.
+func FuzzParseSausage(f *testing.F) {
+	// Valid two-slot sausage over a 5-phone inventory.
+	f.Add([]byte{6, 2, 1, 64, 2, 32, 1, 3, 64})
+	// Empty slot, NaN and Inf probabilities, negative phone.
+	f.Add([]byte{6, 0})
+	f.Add([]byte{6, 1, 1, 255})
+	f.Add([]byte{6, 1, 1, 254, 1, 2, 253})
+	f.Add([]byte{0, 1, 131, 64})
+	// Zero-probability alternative alongside a live one.
+	f.Add([]byte{3, 2, 1, 0, 2, 64})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		slots, numPhones := decodeSausage(data)
+		l, err := lattice.ParseSausage(slots, numPhones)
+		if err != nil {
+			return
+		}
+		if verr := l.Validate(); verr != nil {
+			t.Fatalf("accepted sausage fails Validate: %v", verr)
+		}
+		_, _, logTotal := l.ForwardBackward()
+		if math.IsNaN(logTotal) || math.IsInf(logTotal, 1) {
+			t.Fatalf("accepted sausage has log-likelihood %v", logTotal)
+		}
+		// A sausage ParseSausage accepts is by definition trusted input, so
+		// FromSausage must build the identical lattice without panicking.
+		l2 := lattice.FromSausage(slots)
+		if l2.NumNodes != l.NumNodes || l2.NumEdges() != l.NumEdges() {
+			t.Fatalf("ParseSausage built %d nodes/%d edges, FromSausage %d/%d",
+				l.NumNodes, l.NumEdges(), l2.NumNodes, l2.NumEdges())
+		}
+		for i := range l.Edges {
+			if l.Edges[i] != l2.Edges[i] {
+				t.Fatalf("edge %d differs: %+v vs %+v", i, l.Edges[i], l2.Edges[i])
+			}
+		}
+	})
+}

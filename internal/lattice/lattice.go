@@ -19,6 +19,8 @@ package lattice
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/faultinject"
 )
 
 // Edge is a scored phone arc.
@@ -224,7 +226,9 @@ type SausageSlot []struct {
 // FromSausage builds a linear confusion-network lattice: slot i spans
 // nodes i→i+1 with one edge per alternative, weighted by log probability.
 // Zero-probability alternatives are dropped; a slot with no positive
-// alternatives panics (it would disconnect the lattice).
+// alternatives panics (it would disconnect the lattice). Trusted-input
+// paths (the decoders) use this; untrusted input goes through
+// ParseSausage.
 func FromSausage(slots []SausageSlot) *Lattice {
 	if len(slots) == 0 {
 		panic("lattice: empty sausage")
@@ -244,6 +248,42 @@ func FromSausage(slots []SausageSlot) *Lattice {
 		}
 	}
 	return l
+}
+
+// ParseSausage is the error-returning sausage builder for untrusted input
+// (the serving API, fuzzers): malformed slots — NaN/Inf/negative
+// probabilities, no positive alternative, out-of-range phones when
+// numPhones > 0 — return an error instead of panicking. A valid sausage
+// produces exactly the lattice FromSausage would.
+func ParseSausage(slots []SausageSlot, numPhones int) (*Lattice, error) {
+	// Chaos hook: an injected fault behaves like a malformed decode.
+	if err := faultinject.At("lattice.sausage"); err != nil {
+		return nil, err
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("lattice: empty sausage")
+	}
+	l := New(len(slots) + 1)
+	for i, slot := range slots {
+		added := 0
+		for _, alt := range slot {
+			if math.IsNaN(alt.Prob) || math.IsInf(alt.Prob, 0) || alt.Prob < 0 {
+				return nil, fmt.Errorf("lattice: slot %d: invalid probability %v", i, alt.Prob)
+			}
+			if numPhones > 0 && (alt.Phone < 0 || alt.Phone >= numPhones) {
+				return nil, fmt.Errorf("lattice: slot %d: phone %d outside inventory [0,%d)", i, alt.Phone, numPhones)
+			}
+			if alt.Prob == 0 {
+				continue
+			}
+			l.AddEdge(i, i+1, alt.Phone, math.Log(alt.Prob))
+			added++
+		}
+		if added == 0 {
+			return nil, fmt.Errorf("lattice: slot %d has no positive-probability alternative", i)
+		}
+	}
+	return l, nil
 }
 
 // FromString builds the degenerate single-path lattice of a 1-best phone

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -35,6 +36,9 @@ func ForWorkers(n, workers int, body func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			// Chaos hook: injected panics/stalls exercise the pool's
+			// first-panic-wins propagation and its callers' recovery.
+			faultinject.Disturb("parallel.task")
 			body(i)
 		}
 		return
@@ -59,6 +63,7 @@ func ForWorkers(n, workers int, body func(i int)) {
 				if i >= n {
 					return
 				}
+				faultinject.Disturb("parallel.task")
 				body(i)
 			}
 		}()
@@ -170,6 +175,7 @@ func ForPoolWorkers(name string, n, workers int, body func(i int)) Stats {
 			if i >= n {
 				return
 			}
+			faultinject.Disturb("parallel.task")
 			t0 := time.Now()
 			body(i)
 			d := time.Since(t0)

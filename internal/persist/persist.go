@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/faultinject"
 )
 
 // magic versions the on-disk format.
@@ -66,15 +68,25 @@ func Save(path string, v any) error {
 		os.Remove(tmp)
 		return err
 	}
+	// Chaos hook: a fault here models a crash after the temp file is fully
+	// written but before it is published — the atomic-save contract says
+	// the destination must be untouched.
+	if err := faultinject.At("persist.save"); err != nil {
+		os.Remove(tmp)
+		return err
+	}
 	return os.Rename(tmp, path)
 }
 
-// Load reads a model from a file into v (a pointer).
+// Load reads a model from a file into v (a pointer). The read stream runs
+// through the persist.load.read fault site, so chaos plans can simulate
+// partial reads and torn files; decoding such a stream must fail cleanly,
+// never panic or succeed with garbage.
 func Load(path string, v any) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return LoadFrom(bufio.NewReader(f), v)
+	return LoadFrom(faultinject.Reader("persist.load.read", bufio.NewReader(f)), v)
 }

@@ -1,0 +1,50 @@
+package scorefile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const fuzzHeader = "system\tduration_s\tmodel\tsegment\ttruth\tscore"
+
+// FuzzRead: the score-file reader must never panic on arbitrary bytes,
+// and anything it accepts must survive a Write→Read→Write cycle with the
+// second write byte-identical to the first (the writer is the format's
+// normal form, so one normalization pass must be a fixed point).
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(fuzzHeader))
+	f.Add([]byte(fuzzHeader + "\nPR-HU\t30\talpha\tseg_0001\talpha\t-1.25\n"))
+	f.Add([]byte(fuzzHeader + "\nPR-HU\t30\talpha\tseg_0001\t-\tNaN\n\n"))
+	f.Add([]byte(fuzzHeader + "\nPR-HU\t30\talpha\tseg_0001\talpha\t+Inf\n"))
+	f.Add([]byte(fuzzHeader + "\r\nsys\t1e-3\tm\ts\tt\t0\r\n"))
+	f.Add([]byte(fuzzHeader + "\ntoo\tfew\tfields\n"))
+	f.Add([]byte(fuzzHeader + "\na\tnot-a-number\tm\ts\tt\t0\n"))
+	f.Add([]byte("wrong header\na\t1\tm\ts\tt\t0\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var w1 strings.Builder
+		if err := Write(&w1, recs); err != nil {
+			t.Fatalf("writing accepted records: %v", err)
+		}
+		recs2, err := Read(strings.NewReader(w1.String()))
+		if err != nil {
+			t.Fatalf("re-reading written records: %v\n%s", err, w1.String())
+		}
+		if len(recs2) != len(recs) {
+			t.Fatalf("roundtrip changed record count: %d -> %d", len(recs), len(recs2))
+		}
+		var w2 strings.Builder
+		if err := Write(&w2, recs2); err != nil {
+			t.Fatal(err)
+		}
+		if w1.String() != w2.String() {
+			t.Fatalf("normalization is not a fixed point:\nfirst:  %q\nsecond: %q", w1.String(), w2.String())
+		}
+	})
+}

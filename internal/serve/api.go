@@ -3,8 +3,10 @@ package serve
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -53,12 +55,27 @@ type BatchRequest struct {
 // decision value for language k (the row of the paper's score matrix F);
 // Fused[k] is the LDA-MMI backend's log-odds when the bundle carries a
 // fusion backend and the request covered every front-end.
+//
+// When a front-end fails mid-request (recognizer or SVM error/panic) the
+// server degrades instead of failing the utterance: the broken front-end
+// is dropped from the fusion input and the backend combination is
+// rescaled over the survivors (see DESIGN.md, "Graceful degradation").
+// Such results carry Degraded=true, the surviving front-end set, and the
+// per-front-end errors.
 type ScoreResult struct {
 	ID     string               `json:"id,omitempty"`
 	Best   string               `json:"best,omitempty"`
 	Scores map[string][]float64 `json:"scores,omitempty"`
 	Fused  []float64            `json:"fused,omitempty"`
-	Error  string               `json:"error,omitempty"`
+	// Degraded marks a result computed without one or more of the
+	// requested front-ends.
+	Degraded bool `json:"degraded,omitempty"`
+	// Surviving lists the front-ends that contributed scores; set only on
+	// degraded results (otherwise every requested front-end survived).
+	Surviving []string `json:"surviving,omitempty"`
+	// FrontEndErrors maps each failed front-end to its error.
+	FrontEndErrors map[string]string `json:"frontend_errors,omitempty"`
+	Error          string            `json:"error,omitempty"`
 }
 
 // ScoreResponse is the body of a successful POST /v1/score.
@@ -148,62 +165,84 @@ func buildVectors(m *Model, req *ScoreRequest) (map[int]*sparse.Vector, error) {
 	return out, nil
 }
 
-// latticeFromSlots validates and builds a confusion-network lattice
-// (lattice.FromSausage panics on malformed input, so everything it would
-// reject is checked here first and reported as a 400).
+// latticeFromSlots builds a confusion-network lattice from wire slots via
+// lattice.ParseSausage, the error-returning parser for untrusted input
+// (malformed lattices become 400s, never panics).
 func latticeFromSlots(slots [][]Slot, numPhones int) (*lattice.Lattice, error) {
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("empty lattice")
 	}
 	ls := make([]lattice.SausageSlot, len(slots))
 	for i, slot := range slots {
-		positive := 0
 		for _, alt := range slot {
-			if alt.Phone < 0 || alt.Phone >= numPhones {
-				return nil, fmt.Errorf("slot %d: phone %d outside inventory [0,%d)", i, alt.Phone, numPhones)
-			}
-			if math.IsNaN(alt.Prob) || math.IsInf(alt.Prob, 0) || alt.Prob < 0 {
-				return nil, fmt.Errorf("slot %d: invalid probability %v", i, alt.Prob)
-			}
-			if alt.Prob > 0 {
-				positive++
-			}
 			ls[i] = append(ls[i], struct {
 				Phone int
 				Prob  float64
 			}{Phone: alt.Phone, Prob: alt.Prob})
 		}
-		if positive == 0 {
-			return nil, fmt.Errorf("slot %d has no positive-probability alternative", i)
-		}
 	}
-	return lattice.FromSausage(ls), nil
+	return lattice.ParseSausage(ls, numPhones)
 }
+
+// Degradation counter (obs run reports and /metricsz).
+var obsDegraded = obs.GetCounter("serve.score.degraded")
 
 // assembleResult turns one job's per-front-end score rows into the wire
 // result: named scores, the fused row (when the bundle has a backend and
-// every front-end contributed — the backend's feature layout needs the
-// complete battery), and the argmax language.
-func assembleResult(m *Model, id string, scores map[int][]float64) ScoreResult {
+// the request covered every front-end — the backend's feature layout
+// needs the complete battery), and the argmax language.
+//
+// feErrs carries front-ends that failed mid-request. When every requested
+// front-end survived (feErrs empty) and the request covered the full
+// battery, fusion is the backend's exact Score — bit-identical to the
+// offline pipeline. When some failed, the result is marked Degraded and
+// the fused row is computed by fusion.ScoreMasked over the survivors (the
+// documented degraded-fusion contract in DESIGN.md).
+func assembleResult(m *Model, id string, scores map[int][]float64, feErrs map[int]error) ScoreResult {
 	res := ScoreResult{ID: id, Scores: make(map[string][]float64, len(scores))}
 	for q, row := range scores {
 		res.Scores[m.Bundle.FrontEnds[q].Name] = row
 	}
+	if len(feErrs) > 0 {
+		obsDegraded.Inc()
+		res.Degraded = true
+		res.FrontEndErrors = make(map[string]string, len(feErrs))
+		for q, err := range feErrs {
+			res.FrontEndErrors[m.Bundle.FrontEnds[q].Name] = err.Error()
+		}
+		for q := range scores {
+			res.Surviving = append(res.Surviving, m.Bundle.FrontEnds[q].Name)
+		}
+		sort.Strings(res.Surviving)
+	}
 	numLangs := len(m.Bundle.Languages)
-	if m.Bundle.Fusion != nil && len(scores) == len(m.Bundle.FrontEnds) {
+	// The backend applies when the request asked for the complete battery,
+	// even if some front-ends later failed — the fused row then comes from
+	// the masked (survivor-rescaled) combination.
+	requested := len(scores) + len(feErrs)
+	if m.Bundle.Fusion != nil && requested == len(m.Bundle.FrontEnds) {
+		nFE := len(m.Bundle.FrontEnds)
+		present := make([]bool, nFE)
+		for q := range scores {
+			present[q] = true
+		}
 		fused := make([]float64, numLangs)
-		x := make([]float64, len(m.Bundle.FrontEnds))
+		x := make([]float64, nFE)
 		for k := 0; k < numLangs; k++ {
-			for q := range m.Bundle.FrontEnds {
-				x[q] = scores[q][k]
+			for q, row := range scores {
+				x[q] = row[k]
 			}
 			// Class 1 of the 2-class trial backend is "target".
-			fused[k] = m.Bundle.Fusion.Score(x)[1]
+			if len(feErrs) == 0 {
+				fused[k] = m.Bundle.Fusion.Score(x)[1]
+			} else {
+				fused[k] = m.Bundle.Fusion.ScoreMasked(x, present)[1]
+			}
 		}
 		res.Fused = fused
 	}
 	// Decision scores: fused when available, otherwise the mean across the
-	// provided front-ends.
+	// surviving front-ends.
 	decision := res.Fused
 	if decision == nil {
 		decision = make([]float64, numLangs)

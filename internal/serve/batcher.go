@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
@@ -37,6 +38,10 @@ type job struct {
 
 type jobResult struct {
 	scores map[int][]float64
+	// feErrs records per-front-end failures of a job that still produced
+	// scores for its surviving front-ends (the graceful-degradation path).
+	// err is set only when the job produced nothing at all.
+	feErrs map[int]error
 	err    error
 }
 
@@ -61,6 +66,7 @@ type Batcher struct {
 	maxWait  time.Duration
 	workers  int
 	process  func([]*job)
+	clock    Clock
 
 	queue   chan *job
 	drainCh chan struct{}
@@ -83,7 +89,9 @@ var (
 
 // newBatcher starts a dispatcher. process scores one batch; nil selects
 // the real scoring pass (tests inject blocking or panicking stand-ins).
-func newBatcher(maxBatch, queueDepth, workers int, maxWait time.Duration, process func([]*job)) *Batcher {
+// clock drives the batch-fill wait; nil selects the real clock (tests
+// inject a fake one to make coalescing deterministic).
+func newBatcher(maxBatch, queueDepth, workers int, maxWait time.Duration, process func([]*job), clock Clock) *Batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -93,10 +101,14 @@ func newBatcher(maxBatch, queueDepth, workers int, maxWait time.Duration, proces
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if clock == nil {
+		clock = realClock{}
+	}
 	b := &Batcher{
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
 		workers:  workers,
+		clock:    clock,
 		queue:    make(chan *job, queueDepth),
 		drainCh:  make(chan struct{}),
 		done:     make(chan struct{}),
@@ -164,19 +176,18 @@ func (b *Batcher) run() {
 			}
 		}
 		batch := []*job{first}
-		timer := time.NewTimer(b.maxWait)
+		timeout := b.clock.After(b.maxWait)
 	collect:
 		for len(batch) < b.maxBatch {
 			select {
 			case j := <-b.queue:
 				batch = append(batch, j)
-			case <-timer.C:
+			case <-timeout:
 				break collect
 			case <-b.drainCh:
 				break collect
 			}
 		}
-		timer.Stop()
 		obsQueueDepth.Set(float64(len(b.queue)))
 		b.runBatch(batch)
 	}
@@ -219,6 +230,9 @@ func (b *Batcher) runBatch(batch []*job) {
 			}
 		}
 	}()
+	// Chaos hook: a fault at serve.batch exercises this very safety net —
+	// an injected panic here must turn into error results, never a crash.
+	faultinject.Disturb("serve.batch")
 	b.process(batch)
 }
 
@@ -260,8 +274,9 @@ func scoreJobs(batch []*job, workers int) {
 	}
 	outs := make([]taskOut, len(tasks))
 	parallel.ForPoolWorkers("serve-score", len(tasks), workers, func(i int) {
-		// A panicking task poisons only its own job, not the batch or the
-		// process (parallel.ForWorkers would re-panic on the pool goroutine).
+		// A panicking task poisons only its own front-end within its own
+		// job, not the batch or the process (parallel.ForWorkers would
+		// re-panic on the pool goroutine).
 		defer func() {
 			if r := recover(); r != nil {
 				obsPanics.Inc()
@@ -270,14 +285,26 @@ func scoreJobs(batch []*job, workers int) {
 		}()
 		t := tasks[i]
 		fe := &t.j.model.Bundle.FrontEnds[t.fe]
+		if err := faultinject.At("serve.score.fe." + fe.Name); err != nil {
+			outs[i].err = err
+			return
+		}
 		outs[i].scores = fe.OVR.Scores(t.j.vectors[t.fe])
 	})
-	// Reassemble per job.
+	// Reassemble per job. A front-end failure degrades only that job's
+	// fusion input (the surviving front-ends still score); the job-level
+	// error path is reserved for jobs where nothing survived.
 	scores := make(map[*job]map[int][]float64, len(live))
-	failed := make(map[*job]error)
+	feErrs := make(map[*job]map[int]error)
 	for i, t := range tasks {
 		if outs[i].err != nil {
-			failed[t.j] = outs[i].err
+			m, ok := feErrs[t.j]
+			if !ok {
+				m = make(map[int]error)
+				feErrs[t.j] = m
+			}
+			m[t.fe] = outs[i].err
+			obs.GetCounter("serve.fe.failures." + t.j.model.Bundle.FrontEnds[t.fe].Name).Inc()
 			continue
 		}
 		m, ok := scores[t.j]
@@ -288,10 +315,21 @@ func scoreJobs(batch []*job, workers int) {
 		m[t.fe] = outs[i].scores
 	}
 	for _, j := range live {
-		if err, ok := failed[j]; ok {
+		s := scores[j]
+		errs := feErrs[j]
+		if len(s) == 0 {
+			// Every requested front-end failed: no fusion input survives.
+			var err error
+			for _, e := range errs {
+				err = e
+				break
+			}
+			if err == nil {
+				err = errors.New("serve: no front-end produced scores")
+			}
 			j.trySend(jobResult{err: err})
 			continue
 		}
-		j.trySend(jobResult{scores: scores[j]})
+		j.trySend(jobResult{scores: s, feErrs: errs})
 	}
 }

@@ -29,6 +29,10 @@ func echoProcess(batches *[][]*job, mu *sync.Mutex) func([]*job) {
 }
 
 func TestBatcherCoalesces(t *testing.T) {
+	// The fake clock makes coalescing exact: the batch-fill timeout only
+	// fires when the test advances the clock, so the batch boundary is a
+	// scheduling fact, not a wall-clock race.
+	clk := newFakeClock()
 	var batches [][]*job
 	var mu sync.Mutex
 	gate := make(chan struct{})
@@ -40,7 +44,7 @@ func TestBatcherCoalesces(t *testing.T) {
 		for _, j := range batch {
 			j.trySend(jobResult{})
 		}
-	})
+	}, clk)
 	defer b.Drain(context.Background())
 
 	var jobs []*job
@@ -51,31 +55,35 @@ func TestBatcherCoalesces(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The dispatcher fills a full batch of 8 from the queue (the timeout
+	// never fires on its own), leaving the ninth job queued.
 	close(gate)
-	for _, j := range jobs {
+	for _, j := range jobs[:8] {
 		select {
 		case <-j.result:
 		case <-time.After(2 * time.Second):
 			t.Fatal("job never completed")
 		}
 	}
+	// The ninth job sits in a half-empty batch until its MaxWait elapses.
+	// Two waiters: the first batch's abandoned fill timer plus the second
+	// batch's live one — waiting for both guarantees the second batch has
+	// started collecting before the clock moves.
+	clk.WaitForWaiters(2)
+	clk.Advance(50 * time.Millisecond)
+	select {
+	case <-jobs[8].result:
+	case <-time.After(2 * time.Second):
+		t.Fatal("straggler job never completed after MaxWait")
+	}
 	mu.Lock()
 	defer mu.Unlock()
-	// The first batch grabs whatever arrived within MaxWait; once the
-	// dispatcher was gated, the remaining jobs must coalesce rather than
-	// run one batch per job.
-	if len(batches) >= 9 {
-		t.Fatalf("no coalescing: %d batches for 9 jobs", len(batches))
-	}
-	total := 0
-	for _, batch := range batches {
-		if len(batch) > 8 {
-			t.Fatalf("batch of %d exceeds maxBatch 8", len(batch))
+	if len(batches) != 2 || len(batches[0]) != 8 || len(batches[1]) != 1 {
+		sizes := make([]int, len(batches))
+		for i := range batches {
+			sizes[i] = len(batches[i])
 		}
-		total += len(batch)
-	}
-	if total != 9 {
-		t.Fatalf("processed %d jobs, want 9", total)
+		t.Fatalf("batch sizes %v, want [8 1]", sizes)
 	}
 }
 
@@ -86,7 +94,7 @@ func TestBatcherQueueFull(t *testing.T) {
 		for _, j := range batch {
 			j.trySend(jobResult{})
 		}
-	})
+	}, nil)
 	defer func() {
 		close(gate)
 		b.Drain(context.Background())
@@ -107,14 +115,17 @@ func TestBatcherQueueFull(t *testing.T) {
 }
 
 func TestBatcherDrainCompletesQueuedJobs(t *testing.T) {
+	// The fake clock keeps the fill timeout from ever firing on its own:
+	// every job is still queued when Drain starts, which is exactly the
+	// case the no-accepted-job-is-dropped contract covers.
+	clk := newFakeClock()
 	var processed atomic.Int64
 	b := newBatcher(4, 64, 1, 10*time.Millisecond, func(batch []*job) {
-		time.Sleep(20 * time.Millisecond)
 		processed.Add(int64(len(batch)))
 		for _, j := range batch {
 			j.trySend(jobResult{})
 		}
-	})
+	}, clk)
 	const n = 17
 	jobs := make([]*job, n)
 	for i := range jobs {
@@ -149,17 +160,21 @@ func TestBatcherDrainCompletesQueuedJobs(t *testing.T) {
 }
 
 func TestBatcherDrainTimeout(t *testing.T) {
+	// A cancelled context stands in for an elapsed drain deadline — the
+	// stuck scoring pass guarantees the dispatcher can never finish, so
+	// Drain must return the context's error rather than hang (no wall-clock
+	// race: the outcome is the same no matter how the goroutines schedule).
 	block := make(chan struct{})
 	b := newBatcher(1, 8, 1, time.Millisecond, func(batch []*job) {
 		<-block
-	})
+	}, nil)
 	if err := b.Submit(newJob(nil)); err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
-	defer cancel()
-	if err := b.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("Drain with a stuck pass: %v, want DeadlineExceeded", err)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain with a stuck pass: %v, want context.Canceled", err)
 	}
 	close(block)
 }
@@ -167,7 +182,7 @@ func TestBatcherDrainTimeout(t *testing.T) {
 func TestBatcherPanicIsolation(t *testing.T) {
 	b := newBatcher(8, 64, 1, time.Millisecond, func(batch []*job) {
 		panic("scoring exploded")
-	})
+	}, nil)
 	defer b.Drain(context.Background())
 	j := newJob(nil)
 	if err := b.Submit(j); err != nil {

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/ngram"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -89,7 +90,14 @@ func (r *Registry) Dir() string { return r.dir }
 func (r *Registry) Reload() (*Model, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	b, m, err := persist.LoadBundle(r.dir)
+	var b *persist.Bundle
+	var m *persist.Manifest
+	// Chaos hook: an injected fault behaves exactly like a failed bundle
+	// load (exercises the retry/backoff and circuit-breaker path).
+	err := faultinject.At("serve.reload")
+	if err == nil {
+		b, m, err = persist.LoadBundle(r.dir)
+	}
 	if err != nil {
 		obs.Inc("serve.model.reload_errors")
 		return nil, err

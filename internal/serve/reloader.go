@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrBreakerOpen is returned by Reload while the circuit breaker is open:
+// recent reloads failed repeatedly, so further attempts are rejected until
+// the cooldown passes (the previous model keeps serving throughout).
+var ErrBreakerOpen = errors.New("serve: reload circuit breaker open")
+
+// ReloadPolicy governs how the server retries model reloads and when it
+// stops trying. Zero values select the defaults noted per field.
+type ReloadPolicy struct {
+	// Retries is how many extra attempts follow a failed reload within one
+	// Reload call (2; negative disables retries).
+	Retries int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// retry (100 ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry delay (2 s).
+	MaxBackoff time.Duration
+	// TripAfter is how many consecutive failed Reload calls (each already
+	// retried) open the breaker (3).
+	TripAfter int
+	// Cooldown is how long an open breaker rejects reloads before letting
+	// one probe attempt through (30 s).
+	Cooldown time.Duration
+}
+
+func (p *ReloadPolicy) setDefaults() {
+	if p.Retries == 0 {
+		p.Retries = 2
+	}
+	if p.Retries < 0 {
+		p.Retries = 0
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.TripAfter <= 0 {
+		p.TripAfter = 3
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 30 * time.Second
+	}
+}
+
+// Reload/breaker counters (obs run reports and /metricsz).
+var (
+	obsReloadRetries  = obs.GetCounter("serve.reload.retries")
+	obsReloadFailures = obs.GetCounter("serve.reload.failures")
+	obsBreakerTrips   = obs.GetCounter("serve.reload.breaker_trips")
+	obsBreakerDenied  = obs.GetCounter("serve.reload.breaker_denied")
+)
+
+// reloader wraps Registry.Reload with retry/backoff and a circuit
+// breaker. States: closed (reloads pass through, with retries), open
+// (reloads are rejected with ErrBreakerOpen until Cooldown elapses), and
+// half-open (after the cooldown one probe attempt runs; success closes
+// the breaker, failure re-arms the cooldown). A reload failure never
+// disturbs serving — the registry keeps the previous model active.
+type reloader struct {
+	reg   *Registry
+	pol   ReloadPolicy
+	clock Clock
+
+	mu        sync.Mutex // serializes reload operations and breaker state
+	fails     int        // consecutive failed Reload calls
+	openUntil time.Time  // breaker rejects until here while fails >= TripAfter
+}
+
+func newReloader(reg *Registry, pol ReloadPolicy, clock Clock) *reloader {
+	pol.setDefaults()
+	if clock == nil {
+		clock = realClock{}
+	}
+	return &reloader{reg: reg, pol: pol, clock: clock}
+}
+
+// Reload runs one reload operation: up to 1+Retries attempts with
+// exponential backoff, gated by the breaker.
+func (rl *reloader) Reload() (*Model, error) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.clock.Now()
+	if rl.fails >= rl.pol.TripAfter && now.Before(rl.openUntil) {
+		obsBreakerDenied.Inc()
+		return nil, fmt.Errorf("%w (cooldown ends in %v)",
+			ErrBreakerOpen, rl.openUntil.Sub(now).Round(time.Millisecond))
+	}
+	// Closed, or half-open: the cooldown elapsed and this call is the
+	// probe.
+	var lastErr error
+	backoff := rl.pol.BaseBackoff
+	for attempt := 0; attempt <= rl.pol.Retries; attempt++ {
+		if attempt > 0 {
+			obsReloadRetries.Inc()
+			rl.clock.Sleep(backoff)
+			backoff *= 2
+			if backoff > rl.pol.MaxBackoff {
+				backoff = rl.pol.MaxBackoff
+			}
+		}
+		m, err := rl.reg.Reload()
+		if err == nil {
+			rl.fails = 0
+			obs.SetGauge("serve.reload.breaker_open", 0)
+			return m, nil
+		}
+		lastErr = err
+	}
+	obsReloadFailures.Inc()
+	rl.fails++
+	if rl.fails >= rl.pol.TripAfter {
+		obsBreakerTrips.Inc()
+		rl.openUntil = rl.clock.Now().Add(rl.pol.Cooldown)
+		obs.SetGauge("serve.reload.breaker_open", 1)
+	}
+	return nil, lastErr
+}

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -36,6 +38,11 @@ type Config struct {
 	DrainTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (32 MiB).
 	MaxBodyBytes int64
+	// Reload governs reload retry/backoff and the circuit breaker.
+	Reload ReloadPolicy
+
+	// clock substitutes the time source in tests (nil: real time).
+	clock Clock
 }
 
 func (c *Config) setDefaults() {
@@ -57,12 +64,14 @@ func (c *Config) setDefaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	c.Reload.setDefaults()
 }
 
 // Server is the scoring daemon: registry + batcher + HTTP handlers.
 type Server struct {
 	cfg      Config
 	reg      *Registry
+	reloader *reloader
 	batcher  *Batcher
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -81,7 +90,8 @@ func New(cfg Config) (*Server, error) {
 	if _, err := s.reg.Reload(); err != nil {
 		return nil, fmt.Errorf("serve: initial model load: %w", err)
 	}
-	s.batcher = newBatcher(cfg.MaxBatch, cfg.QueueDepth, cfg.Workers, cfg.BatchWait, nil)
+	s.reloader = newReloader(s.reg, cfg.Reload, cfg.clock)
+	s.batcher = newBatcher(cfg.MaxBatch, cfg.QueueDepth, cfg.Workers, cfg.BatchWait, nil, cfg.clock)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/score", s.instrument("score", s.handleScore))
 	s.mux.HandleFunc("/v1/score/batch", s.instrument("batch", s.handleScoreBatch))
@@ -94,6 +104,11 @@ func New(cfg Config) (*Server, error) {
 
 // Registry exposes the model registry (reload loops, tests).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Reload swaps in a fresh bundle through the retry/backoff and
+// circuit-breaker policy; SIGHUP handlers and the /-/reload endpoint both
+// go through here. On failure the previous model stays active.
+func (s *Server) Reload() (*Model, error) { return s.reloader.Reload() }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -136,6 +151,12 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) *Model {
 	}
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil
+	}
+	// Chaos hook: error faults surface as 503 (bounded, well-formed
+	// failures), delay faults model a slow handler.
+	if err := faultinject.At("serve.handler"); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return nil
 	}
 	m := s.reg.Current()
@@ -230,7 +251,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ScoreResponse{
 		ModelVersion: m.Version,
 		Languages:    m.Bundle.Languages,
-		ScoreResult:  assembleResult(m, req.ID, res.scores),
+		ScoreResult:  assembleResult(m, req.ID, res.scores, res.feErrs),
 	})
 }
 
@@ -273,7 +294,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		case res.err != nil:
 			results[i] = ScoreResult{ID: j.id, Error: res.err.Error()}
 		default:
-			results[i] = assembleResult(m, j.id, res.scores)
+			results[i] = assembleResult(m, j.id, res.scores, res.feErrs)
 		}
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{
@@ -312,6 +333,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	rep.Meta = map[string]string{"service": "lred"}
 	if m := s.reg.Current(); m != nil {
 		rep.Meta["model_version"] = fmt.Sprintf("%d", m.Version)
+		rep.Meta["front_ends"] = strings.Join(m.Manifest.FrontEnds, ",")
 	}
 	w.Header().Set("Content-Type", "application/json")
 	rep.WriteJSON(w)
@@ -327,8 +349,13 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	m, err := s.reg.Reload()
+	m, err := s.reloader.Reload()
 	if err != nil {
+		if errors.Is(err, ErrBreakerOpen) {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.Reload.Cooldown/time.Second)+1))
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "reload failed (previous model still active): %v", err)
 		return
 	}
