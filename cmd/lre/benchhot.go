@@ -1,0 +1,32 @@
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/benchhot"
+)
+
+// runBenchHotpath executes the hot-path benchmark protocol
+// (internal/benchhot) and writes the before/after report. The committed
+// BENCH_hotpath.json at the repo root is produced by exactly this mode;
+// EXPERIMENTS.md documents how to regenerate and compare it.
+func runBenchHotpath(path string) {
+	log.Printf("running hot-path benchmark protocol (this re-times the seed implementations, ~1min)…")
+	rep := benchhot.Run()
+	if !rep.BitIdentical {
+		log.Fatal("bench-hotpath: optimized paths are NOT bit-identical to the reference implementations; report not written")
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range rep.Benchmarks {
+		log.Printf("%-20s %.2fx faster, %.1fx less allocated bytes (%.0f → %.0f ns/op)",
+			e.Name, e.Speedup, e.AllocReduction, e.Before.NsPerOp, e.After.NsPerOp)
+	}
+	log.Printf("wrote %s", path)
+}

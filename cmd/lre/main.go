@@ -71,8 +71,13 @@ func main() {
 		reportOut  = flag.String("report-out", "", "write the full run report (trace + metrics + meta) as JSON to this path")
 		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this path")
 		pprofMem   = flag.String("pprof-mem", "", "write a heap profile at end of run to this path")
+		benchHot   = flag.String("bench-hotpath", "", "run the hot-path before/after benchmark protocol and write the JSON report to this path (see EXPERIMENTS.md)")
 	)
 	flag.Parse()
+	if *benchHot != "" {
+		runBenchHotpath(*benchHot)
+		return
+	}
 	if *table == "" && *fig == "" && *ablation == "" && *exportDir == "" {
 		*table = "all"
 	}

@@ -27,7 +27,6 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
-	"repro/internal/parallel"
 	"repro/internal/sparse"
 	"repro/internal/svm"
 )
@@ -179,7 +178,7 @@ func TrainBaseline(data []*SubsystemData, trainLabels []int, numLangs int, opt s
 	for q, d := range data {
 		qopt := opt
 		qopt.Seed = opt.Seed + uint64(q)*104729
-		models[q] = svm.TrainOneVsRest(d.Train, trainLabels, numLangs, d.Dim, qopt)
+		models[q] = svm.TrainOVR(d.Train, trainLabels, numLangs, d.Dim, qopt)
 	}
 	return models
 }
@@ -188,13 +187,9 @@ func TrainBaseline(data []*SubsystemData, trainLabels []int, numLangs int, opt s
 func ScoreAll(models []*svm.OneVsRest, data []*SubsystemData) [][][]float64 {
 	out := make([][][]float64, len(models))
 	for q, mdl := range models {
-		test := data[q].Test
-		m := mdl
-		scores := make([][]float64, len(test))
-		parallel.ForPool("score", len(test), func(j int) {
-			scores[j] = m.Scores(test[j])
-		})
-		out[q] = scores
+		// ScoreAll runs the packed one-pass kernel over the "score" pool
+		// with a single flat arena per subsystem.
+		out[q] = mdl.ScoreAll(data[q].Test)
 	}
 	return out
 }
@@ -258,7 +253,7 @@ func Run(data []*SubsystemData, trainLabels []int, baseline []*svm.OneVsRest,
 		xs, ys := BuildTrainingSet(d, trainLabels, sel, cfg.Method)
 		qopt := cfg.SVMOptions
 		qopt.Seed = cfg.SVMOptions.Seed + 7_000_003 + uint64(q)*104729
-		o.Retrained[q] = svm.TrainOneVsRest(xs, ys, cfg.NumLangs, d.Dim, qopt)
+		o.Retrained[q] = svm.TrainOVR(xs, ys, cfg.NumLangs, d.Dim, qopt)
 	}
 	retrainSp.SetAttr("subsystems", float64(len(data)))
 	retrainSp.End()

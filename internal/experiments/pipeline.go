@@ -320,10 +320,7 @@ func (p *Pipeline) DevScores(models []*svm.OneVsRest) [][][]float64 {
 	out := make([][][]float64, len(models))
 	for q, mdl := range models {
 		devVecs := p.Feats[q].Vectors(p.Corpus.AllDev())
-		m := mdl
-		out[q] = parallel.Map(len(devVecs), func(i int) []float64 {
-			return m.Scores(devVecs[i])
-		})
+		out[q] = mdl.ScoreAll(devVecs)
 	}
 	return out
 }

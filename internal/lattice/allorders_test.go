@@ -1,0 +1,96 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+type emission struct {
+	order int
+	gram  [4]int
+	n     int
+	w     float64
+}
+
+func capture(gram []int, w float64, order int) emission {
+	e := emission{order: order, n: len(gram), w: w}
+	copy(e.gram[:], gram)
+	return e
+}
+
+// TestExpectedNgramCountsAllMatchesPerOrder pins the single-pass
+// ExpectedNgramCountsAll to the per-order ExpectedNgramCounts calls it
+// replaces: same emissions, same order, bit-identical weights — the
+// property ngram.Supervector's bit-identity rests on.
+func TestExpectedNgramCountsAllMatchesPerOrder(t *testing.T) {
+	root := rng.New(13)
+	const maxN = 3
+	for trial := 0; trial < 80; trial++ {
+		r := root.Split(uint64(trial))
+		l := randomSausage(r, 10, 4, 8)
+
+		var want []emission
+		for n := 1; n <= maxN; n++ {
+			order := n
+			l.ExpectedNgramCounts(n, func(g []int, w float64) {
+				want = append(want, capture(g, w, order))
+			})
+		}
+		var got []emission
+		l.ExpectedNgramCountsAll(maxN, func(order int, g []int, w float64) {
+			if len(g) != order {
+				t.Fatalf("trial %d: gram len %d for order %d", trial, len(g), order)
+			}
+			got = append(got, capture(g, w, order))
+		})
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d emissions != %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d emission %d: got %+v want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExpectedNgramCountsAllPanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for maxN < 1")
+		}
+	}()
+	FromString([]int{1, 2}).ExpectedNgramCountsAll(0, func(int, []int, float64) {})
+}
+
+// BenchmarkExpectedCountsPerOrder vs ...SinglePass measure the win from
+// hoisting forward–backward out of the per-order loop.
+func benchLattice() *Lattice {
+	return randomSausage(rng.New(21), 40, 4, 20)
+}
+
+func BenchmarkExpectedCountsPerOrder(b *testing.B) {
+	l := benchLattice()
+	b.ReportAllocs()
+	var s float64
+	for n := 0; n < b.N; n++ {
+		for ord := 1; ord <= 3; ord++ {
+			l.ExpectedNgramCounts(ord, func(_ []int, w float64) { s += w })
+		}
+	}
+	benchSink = s
+}
+
+func BenchmarkExpectedCountsSinglePass(b *testing.B) {
+	l := benchLattice()
+	b.ReportAllocs()
+	var s float64
+	for n := 0; n < b.N; n++ {
+		l.ExpectedNgramCountsAll(3, func(_ int, _ []int, w float64) { s += w })
+	}
+	benchSink = s
+}
+
+var benchSink float64

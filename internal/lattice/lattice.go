@@ -19,6 +19,7 @@ package lattice
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/faultinject"
 )
@@ -101,9 +102,17 @@ func logAdd(a, b float64) float64 {
 // ForwardBackward computes log forward scores α (by node), log backward
 // scores β (by node), and the total log likelihood log P(ℓ).
 func (l *Lattice) ForwardBackward() (alpha, beta []float64, logTotal float64) {
-	negInf := math.Inf(-1)
 	alpha = make([]float64, l.NumNodes)
 	beta = make([]float64, l.NumNodes)
+	logTotal = l.forwardBackwardInto(alpha, beta)
+	return alpha, beta, logTotal
+}
+
+// forwardBackwardInto runs forward–backward into caller-provided slices
+// (each of length NumNodes). Every element is fully (re)initialized, so
+// recycled scratch produces the same bits as fresh allocations.
+func (l *Lattice) forwardBackwardInto(alpha, beta []float64) (logTotal float64) {
+	negInf := math.Inf(-1)
 	for i := range alpha {
 		alpha[i] = negInf
 		beta[i] = negInf
@@ -128,7 +137,7 @@ func (l *Lattice) ForwardBackward() (alpha, beta []float64, logTotal float64) {
 			beta[e.From] = logAdd(beta[e.From], e.LogScore+beta[n])
 		}
 	}
-	return alpha, beta, alpha[l.NumNodes-1]
+	return alpha[l.NumNodes-1]
 }
 
 // EdgePosteriors returns ξ(e) = P(e ∈ path) for every edge.
@@ -155,16 +164,23 @@ func (l *Lattice) ExpectedNgramCounts(n int, emit func(ngram []int, weight float
 	if math.IsInf(logTotal, -1) {
 		return
 	}
-	ngram := make([]int, n)
+	l.countOrder(n, make([]int, n), alpha, beta, logTotal, emit)
+}
+
+// countOrder walks all consecutive-edge paths of length n given the
+// precomputed forward/backward scores, filling the caller's gram scratch.
+func (l *Lattice) countOrder(n int, gram []int, alpha, beta []float64, logTotal float64,
+	emit func(ngram []int, weight float64)) {
+
 	var walk func(depth int, node int, logAcc float64)
 	walk = func(depth int, node int, logAcc float64) {
 		if depth == n {
-			emit(ngram, math.Exp(logAcc+beta[node]-logTotal))
+			emit(gram, math.Exp(logAcc+beta[node]-logTotal))
 			return
 		}
 		for _, ei := range l.out[node] {
 			e := &l.Edges[ei]
-			ngram[depth] = e.Phone
+			gram[depth] = e.Phone
 			walk(depth+1, e.To, logAcc+e.LogScore)
 		}
 	}
@@ -175,6 +191,49 @@ func (l *Lattice) ExpectedNgramCounts(n int, emit func(ngram []int, weight float
 		walk(0, start, alpha[start])
 	}
 }
+
+// ExpectedNgramCountsAll emits the expected counts of every order
+// 1..maxN from a single forward–backward pass — the supervector
+// extraction hot path, which would otherwise recompute α/β once per
+// order. Orders are emitted in ascending sequence, and within an order
+// the walk visits paths in exactly the order ExpectedNgramCounts does,
+// so any per-index or per-order accumulation over this stream is
+// bit-identical to per-order calls. One gram scratch slice of length
+// maxN is reused across all orders and callbacks (the tuple passed to
+// emit is valid only during the call).
+func (l *Lattice) ExpectedNgramCountsAll(maxN int, emit func(order int, ngram []int, weight float64)) {
+	if maxN < 1 {
+		panic("lattice: n-gram order must be >= 1")
+	}
+	fb := fbPool.Get().(*fbScratch)
+	defer fbPool.Put(fb)
+	alpha, beta := fb.grow(l.NumNodes)
+	logTotal := l.forwardBackwardInto(alpha, beta)
+	if math.IsInf(logTotal, -1) {
+		return
+	}
+	gram := make([]int, maxN)
+	for n := 1; n <= maxN; n++ {
+		order := n
+		l.countOrder(n, gram[:n], alpha, beta, logTotal, func(g []int, w float64) {
+			emit(order, g, w)
+		})
+	}
+}
+
+// fbScratch holds pooled α/β slices for the extraction hot path, where
+// forward–backward scratch would otherwise be reallocated per lattice.
+type fbScratch struct{ alpha, beta []float64 }
+
+func (fb *fbScratch) grow(n int) (alpha, beta []float64) {
+	if cap(fb.alpha) < n {
+		fb.alpha = make([]float64, n)
+		fb.beta = make([]float64, n)
+	}
+	return fb.alpha[:n], fb.beta[:n]
+}
+
+var fbPool = sync.Pool{New: func() any { return new(fbScratch) }}
 
 // BestPath returns the Viterbi (max-score) phone sequence through the
 // lattice and its log score.

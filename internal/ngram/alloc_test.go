@@ -1,0 +1,64 @@
+package ngram
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/rng"
+)
+
+// benchSausage builds a deterministic confusion network with the rough
+// shape of a 10-second utterance: ~100 slots, a few alternatives each.
+func benchSausage(slots, alts, phones int) *lattice.Lattice {
+	r := rng.New(17)
+	ss := make([]lattice.SausageSlot, slots)
+	for i := range ss {
+		var slot lattice.SausageSlot
+		for j := 0; j < alts; j++ {
+			slot = append(slot, struct {
+				Phone int
+				Prob  float64
+			}{Phone: r.Intn(phones), Prob: r.Float64() + 0.05})
+		}
+		ss[i] = slot
+	}
+	return lattice.FromSausage(ss)
+}
+
+// TestSupervectorAllocsFlat guards the gram-scratch and pooled-
+// accumulator satellites: per-call allocation count must not scale with
+// the number of grams emitted (no per-gram allocation, no per-order
+// forward–backward buffers beyond one set).
+func TestSupervectorAllocsFlat(t *testing.T) {
+	s := NewSpace(20, 3)
+	small := benchSausage(8, 2, 20)
+	big := benchSausage(200, 4, 20)
+	// Warm the accumulator pool so steady-state is measured.
+	s.Supervector(big)
+
+	allocsSmall := testing.AllocsPerRun(10, func() { s.Supervector(small) })
+	allocsBig := testing.AllocsPerRun(10, func() { s.Supervector(big) })
+	// The big lattice emits hundreds of times more grams than the small
+	// one; allocations may differ by the output vector's size class and
+	// occasional accumulator growth, but not proportionally.
+	if allocsBig > allocsSmall+24 {
+		t.Fatalf("Supervector allocations scale with gram count: small=%v big=%v",
+			allocsSmall, allocsBig)
+	}
+	if allocsBig > 40 {
+		t.Fatalf("Supervector allocates %v objects per call", allocsBig)
+	}
+}
+
+func BenchmarkSupervector(b *testing.B) {
+	s := NewSpace(59, 2)
+	l := benchSausage(100, 3, 59)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		v := s.Supervector(l)
+		if v.NNZ() == 0 {
+			b.Fatal("empty supervector")
+		}
+	}
+}

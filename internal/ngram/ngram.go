@@ -104,19 +104,22 @@ func (s *Space) OrderOf(idx int32) int {
 // probability vector of a lattice (Eq. 2–3). The result is sparse; an
 // utterance only populates the grams its lattice contains.
 func (s *Space) Supervector(l *lattice.Lattice) *sparse.Vector {
-	acc := sparse.NewAccumulator()
+	// Pooled accumulator + single forward–backward pass shared by all
+	// orders: the count stream arrives order by order in the same
+	// sequence as per-order ExpectedNgramCounts calls, so the per-index
+	// and per-total addition chains (and hence the float results) are
+	// bit-identical to the old path.
+	acc := sparse.GetAccumulator()
+	defer sparse.PutAccumulator(acc)
 	// Per-order totals for normalization.
 	totals := make([]float64, s.Order)
-	for n := 1; n <= s.Order; n++ {
-		order := n
-		l.ExpectedNgramCounts(n, func(gram []int, w float64) {
-			if w <= 0 {
-				return
-			}
-			acc.Add(s.Index(gram), w)
-			totals[order-1] += w
-		})
-	}
+	l.ExpectedNgramCountsAll(s.Order, func(order int, gram []int, w float64) {
+		if w <= 0 {
+			return
+		}
+		acc.Add(s.Index(gram), w)
+		totals[order-1] += w
+	})
 	v := acc.Vector()
 	// Normalize each order block.
 	v.Map(func(idx int32, val float64) float64 {

@@ -193,3 +193,29 @@ func TestBatchVsSequentialPermutationInvariance(t *testing.T) {
 		resultsEqual(t, "permuted-batch "+utts[p].ID, shuffled[i], seq[p])
 	}
 }
+
+// TestPackedKernelMatchesPerModelScoring extends the batch-vs-sequential
+// metamorphic property down into the scoring kernel: the served path now
+// scores all languages in one pass over each vector's nonzeros against a
+// column-blocked weight matrix (svm.ScoresInto), and that kernel must be
+// bit-identical to scoring each language model independently.
+func TestPackedKernelMatchesPerModelScoring(t *testing.T) {
+	b := testBundle(31)
+	for q := range b.FrontEnds {
+		fe := &b.FrontEnds[q]
+		for trial := 0; trial < 50; trial++ {
+			raw := testVector(uint64(900 + trial))
+			v := raw.Clone()
+			if fe.TFLLR != nil {
+				fe.TFLLR.Apply(v)
+			}
+			got := fe.OVR.Scores(v) // packed one-pass kernel
+			for k, m := range fe.OVR.Models {
+				if want := m.Score(v); got[k] != want {
+					t.Fatalf("fe %s trial %d class %d: packed %v != per-model %v",
+						fe.Name, trial, k, got[k], want)
+				}
+			}
+		}
+	}
+}

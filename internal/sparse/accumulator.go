@@ -1,0 +1,180 @@
+package sparse
+
+import (
+	"slices"
+	"sync"
+)
+
+// accumulator.go is the map-free accumulation hot path. Expected N-gram
+// counting touches every (index, weight) observation of every utterance ×
+// every order, so the accumulator's constant factors dominate supervector
+// extraction. A Go map pays hashing, bucket chasing, and (worst of all)
+// fresh bucket allocations per utterance; this open-addressing table over
+// two flat arrays is allocation-free in steady state and is recycled
+// across utterances and orders via a sync.Pool (GetAccumulator /
+// PutAccumulator).
+
+// accMinSlots is the initial table size (power of two). Typical
+// utterances populate a few hundred distinct grams, so the table rarely
+// grows more than once after warm-up.
+const accMinSlots = 1024
+
+// accEmptyKey marks a free slot. Accumulator indices are supervector
+// indices and therefore non-negative.
+const accEmptyKey = int32(-1)
+
+// Accumulator builds supervectors incrementally from (index, weight)
+// observations without requiring sorted insertion. It is the workhorse of
+// expected N-gram counting. Indices must be non-negative. The zero value
+// is not usable; construct with NewAccumulator or GetAccumulator.
+type Accumulator struct {
+	// keys/vals form an open-addressing (linear probing) hash table;
+	// keys[s] == accEmptyKey means slot s is free.
+	keys []int32
+	vals []float64
+	// used records distinct indices in first-insertion order, giving
+	// deterministic iteration (unlike map range order) and cheap Reset.
+	used []int32
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	a := &Accumulator{
+		keys: make([]int32, accMinSlots),
+		vals: make([]float64, accMinSlots),
+	}
+	for i := range a.keys {
+		a.keys[i] = accEmptyKey
+	}
+	return a
+}
+
+// accPool recycles accumulators across utterances and N-gram orders; the
+// tables inside survive, so steady-state accumulation allocates nothing.
+var accPool = sync.Pool{New: func() any { return NewAccumulator() }}
+
+// GetAccumulator returns a reset accumulator from the shared pool. Pair
+// with PutAccumulator; safe for concurrent use from worker pools (each
+// caller owns the instance it got until it puts it back).
+func GetAccumulator() *Accumulator { return accPool.Get().(*Accumulator) }
+
+// PutAccumulator resets a and returns it to the shared pool. a must not
+// be used afterwards.
+func PutAccumulator(a *Accumulator) {
+	a.Reset()
+	accPool.Put(a)
+}
+
+// accHash is Fibonacci multiplicative hashing onto a power-of-two table.
+func accHash(k int32, mask uint32) uint32 {
+	return (uint32(k) * 2654435761) & mask
+}
+
+// slot returns the table position of key k: its current slot if present,
+// otherwise the free slot where it would be inserted.
+func (a *Accumulator) slot(k int32) uint32 {
+	mask := uint32(len(a.keys) - 1)
+	s := accHash(k, mask)
+	for a.keys[s] != k && a.keys[s] != accEmptyKey {
+		s = (s + 1) & mask
+	}
+	return s
+}
+
+// Add accumulates weight w at index i (i must be ≥ 0).
+func (a *Accumulator) Add(i int32, w float64) {
+	if i < 0 {
+		panic("sparse: accumulator index must be non-negative")
+	}
+	s := a.slot(i)
+	if a.keys[s] == i {
+		a.vals[s] += w
+		return
+	}
+	// Keep the load factor under 3/4 so probe chains stay short.
+	if (len(a.used)+1)*4 > len(a.keys)*3 {
+		a.grow()
+		s = a.slot(i)
+	}
+	a.keys[s] = i
+	a.vals[s] = w
+	a.used = append(a.used, i)
+}
+
+// grow doubles the table and rehashes every live entry. The used list is
+// keyed by index, not slot, so it survives unchanged.
+func (a *Accumulator) grow() {
+	oldKeys, oldVals := a.keys, a.vals
+	a.keys = make([]int32, 2*len(oldKeys))
+	a.vals = make([]float64, 2*len(oldVals))
+	for i := range a.keys {
+		a.keys[i] = accEmptyKey
+	}
+	for s, k := range oldKeys {
+		if k == accEmptyKey {
+			continue
+		}
+		ns := a.slot(k)
+		a.keys[ns] = k
+		a.vals[ns] = oldVals[s]
+	}
+}
+
+// at returns the accumulated value of index k (which must be present).
+func (a *Accumulator) at(k int32) float64 { return a.vals[a.slot(k)] }
+
+// Reset empties the accumulator, keeping its table capacity.
+func (a *Accumulator) Reset() {
+	if len(a.used)*8 < len(a.keys) {
+		// Sparse occupancy: clear only the live slots.
+		for _, k := range a.used {
+			a.keys[a.slot(k)] = accEmptyKey
+		}
+	} else {
+		for i := range a.keys {
+			a.keys[i] = accEmptyKey
+		}
+	}
+	a.used = a.used[:0]
+}
+
+// Total returns the sum of all accumulated mass, in first-insertion
+// order (deterministic, unlike the map-backed predecessor).
+func (a *Accumulator) Total() float64 {
+	var s float64
+	for _, k := range a.used {
+		s += a.at(k)
+	}
+	return s
+}
+
+// Len returns the number of distinct indices seen.
+func (a *Accumulator) Len() int { return len(a.used) }
+
+// Vector materializes the accumulated contents as a sorted sparse vector,
+// dropping exact zeros (matching FromMap semantics). The used list is
+// sorted in place — after this call Total sums in index order rather
+// than insertion order (still deterministic; call Total first if the
+// insertion-order sum is wanted, as Normalized does).
+func (a *Accumulator) Vector() *Vector {
+	slices.Sort(a.used)
+	v := New(len(a.used))
+	for _, k := range a.used {
+		if x := a.at(k); x != 0 {
+			v.Idx = append(v.Idx, k)
+			v.Val = append(v.Val, x)
+		}
+	}
+	return v
+}
+
+// Normalized materializes the contents scaled to sum to one. An empty
+// accumulator yields an empty vector.
+func (a *Accumulator) Normalized() *Vector {
+	t := a.Total()
+	v := a.Vector()
+	if t > 0 {
+		v.Scale(1 / t)
+	}
+	return v
+}

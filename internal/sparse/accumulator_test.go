@@ -1,0 +1,206 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// refAccumulate is the old map-backed accumulation path, kept as the
+// equivalence oracle: per-index addition order under a map equals
+// emission order, which is exactly what the open-addressing table does,
+// so results must match bit for bit.
+func refAccumulate(obs []struct {
+	idx int32
+	w   float64
+}) *Vector {
+	m := make(map[int32]float64)
+	for _, o := range obs {
+		m[o.idx] += o.w
+	}
+	return FromMap(m)
+}
+
+func randObservations(r *rng.RNG, n, idxRange int) []struct {
+	idx int32
+	w   float64
+} {
+	obs := make([]struct {
+		idx int32
+		w   float64
+	}, n)
+	for i := range obs {
+		obs[i].idx = int32(r.Intn(idxRange))
+		// Mix signs and magnitudes so addition order matters if broken.
+		obs[i].w = (r.Float64() - 0.3) * math.Exp(float64(r.Intn(8)))
+	}
+	return obs
+}
+
+func TestAccumulatorMatchesMapReference(t *testing.T) {
+	root := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		r := root.Split(uint64(trial))
+		n := r.Intn(3000) + 1
+		idxRange := []int{7, 100, 5000, 200000}[trial%4]
+		obs := randObservations(r, n, idxRange)
+
+		acc := GetAccumulator()
+		for _, o := range obs {
+			acc.Add(o.idx, o.w)
+		}
+		got := acc.Vector()
+		gotTotal := acc.Total()
+		PutAccumulator(acc)
+
+		want := refAccumulate(obs)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got.Idx) != len(want.Idx) {
+			t.Fatalf("trial %d: nnz %d != %d", trial, len(got.Idx), len(want.Idx))
+		}
+		for k := range got.Idx {
+			if got.Idx[k] != want.Idx[k] || got.Val[k] != want.Val[k] {
+				t.Fatalf("trial %d entry %d: got (%d,%v) want (%d,%v)",
+					trial, k, got.Idx[k], got.Val[k], want.Idx[k], want.Val[k])
+			}
+		}
+		// Total sums in first-insertion order — deterministic, but only
+		// approximately equal to the map-ordered sum.
+		var wantTotal float64
+		for _, x := range want.Val {
+			wantTotal += x
+		}
+		if math.Abs(gotTotal-wantTotal) > 1e-9*(1+math.Abs(wantTotal)) {
+			t.Fatalf("trial %d: total %v != %v", trial, gotTotal, wantTotal)
+		}
+	}
+}
+
+func TestAccumulatorResetReuse(t *testing.T) {
+	a := NewAccumulator()
+	for round := 0; round < 5; round++ {
+		for i := int32(0); i < 500; i++ {
+			a.Add(i*3, float64(i+int32(round)))
+		}
+		if a.Len() != 500 {
+			t.Fatalf("round %d: len %d", round, a.Len())
+		}
+		v := a.Vector()
+		if v.NNZ() == 500 {
+			// First value is 0+round which is zero only in round 0.
+			wantNNZ := 500
+			if round == 0 {
+				wantNNZ = 499
+			}
+			if v.NNZ() != wantNNZ {
+				t.Fatalf("round %d: nnz %d", round, v.NNZ())
+			}
+		}
+		a.Reset()
+		if a.Len() != 0 || a.Total() != 0 {
+			t.Fatalf("round %d: reset left %d entries", round, a.Len())
+		}
+	}
+}
+
+func TestAccumulatorGrow(t *testing.T) {
+	a := NewAccumulator()
+	const n = 100_000
+	for i := int32(0); i < n; i++ {
+		a.Add(i, 1)
+	}
+	if a.Len() != n {
+		t.Fatalf("len %d", a.Len())
+	}
+	v := a.Vector()
+	if v.NNZ() != n || v.Idx[0] != 0 || v.Idx[n-1] != n-1 {
+		t.Fatalf("bad vector after grow: nnz=%d", v.NNZ())
+	}
+}
+
+func TestAccumulatorNegativeIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative index")
+		}
+	}()
+	NewAccumulator().Add(-1, 1)
+}
+
+// TestPooledAccumulatorRace exercises the pool from a worker pool: every
+// worker must get an exclusive instance and produce correct results.
+// Run with -race to check the pool handoff.
+func TestPooledAccumulatorRace(t *testing.T) {
+	root := rng.New(7)
+	const tasks = 64
+	out := make([]*Vector, tasks)
+	parallel.ForPool("test-acc", tasks, func(i int) {
+		r := root.Split(uint64(i))
+		obs := randObservations(r, 2000, 300)
+		acc := GetAccumulator()
+		defer PutAccumulator(acc)
+		for _, o := range obs {
+			acc.Add(o.idx, o.w)
+		}
+		out[i] = acc.Vector()
+	})
+	for i := range out {
+		r := root.Split(uint64(i))
+		want := refAccumulate(randObservations(r, 2000, 300))
+		got := out[i]
+		if len(got.Idx) != len(want.Idx) {
+			t.Fatalf("task %d: nnz %d != %d", i, len(got.Idx), len(want.Idx))
+		}
+		for k := range got.Idx {
+			if got.Idx[k] != want.Idx[k] || got.Val[k] != want.Val[k] {
+				t.Fatalf("task %d entry %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+// Benchmarks: map-backed vs open-addressing accumulation over a
+// realistic workload (a few thousand observations over a few hundred
+// distinct grams, the shape of one utterance × order pass).
+
+func benchObservations() []struct {
+	idx int32
+	w   float64
+} {
+	return randObservations(rng.New(99), 4096, 400)
+}
+
+func BenchmarkAccumulateMap(b *testing.B) {
+	obs := benchObservations()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		m := make(map[int32]float64)
+		for _, o := range obs {
+			m[o.idx] += o.w
+		}
+		v := FromMap(m)
+		if v.NNZ() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkAccumulateOpenAddressing(b *testing.B) {
+	obs := benchObservations()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		acc := GetAccumulator()
+		for _, o := range obs {
+			acc.Add(o.idx, o.w)
+		}
+		v := acc.Vector()
+		PutAccumulator(acc)
+		if v.NNZ() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -11,7 +11,7 @@ package sparse
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -36,10 +36,14 @@ func FromMap(m map[int32]float64) *Vector {
 	for i, x := range m {
 		if x != 0 {
 			v.Idx = append(v.Idx, i)
-			v.Val = append(v.Val, x)
 		}
 	}
-	sort.Sort(byIndex{v})
+	// Co-sort by sorting the (distinct) indices alone and gathering the
+	// values afterwards — no interface-based pair sort.
+	slices.Sort(v.Idx)
+	for _, i := range v.Idx {
+		v.Val = append(v.Val, m[i])
+	}
 	return v
 }
 
@@ -53,15 +57,6 @@ func FromDense(d []float64) *Vector {
 		}
 	}
 	return v
-}
-
-type byIndex struct{ v *Vector }
-
-func (b byIndex) Len() int           { return len(b.v.Idx) }
-func (b byIndex) Less(i, j int) bool { return b.v.Idx[i] < b.v.Idx[j] }
-func (b byIndex) Swap(i, j int) {
-	b.v.Idx[i], b.v.Idx[j] = b.v.Idx[j], b.v.Idx[i]
-	b.v.Val[i], b.v.Val[j] = b.v.Val[j], b.v.Val[i]
 }
 
 // NNZ returns the number of stored (non-zero) entries.
@@ -78,19 +73,11 @@ func (v *Vector) Clone() *Vector {
 	return out
 }
 
-// At returns the value at index i (zero if not stored).
+// At returns the value at index i (zero if not stored) by binary search
+// over the sorted index slice.
 func (v *Vector) At(i int32) float64 {
-	lo, hi := 0, len(v.Idx)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if v.Idx[mid] < i {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(v.Idx) && v.Idx[lo] == i {
-		return v.Val[lo]
+	if k, ok := slices.BinarySearch(v.Idx, i); ok {
+		return v.Val[k]
 	}
 	return 0
 }
@@ -115,27 +102,71 @@ func Dot(a, b *Vector) float64 {
 }
 
 // DotDense returns the inner product of v against a dense weight vector w.
-// Indices beyond len(w) contribute zero.
+// Indices beyond len(w) contribute zero. This is the SVM solver's
+// innermost kernel, so it is tuned: indices are compared unsigned
+// against len(w) (enforcing the cutoff while proving 0 ≤ j < len(w) to
+// the compiler, which drops the per-element bounds checks), and the
+// gather is unrolled 4-wide. The accumulator is a single chain updated
+// in ascending-index order — the identical float addition sequence as
+// the scalar loop — so results are bit-for-bit unchanged. The block
+// guard ORs the four indices: it can only over-trigger (OR ≥ each
+// operand for non-negative values), and the scalar tail re-checks
+// element by element, so the cutoff stays exact. (A negative index —
+// impossible for a valid vector — wraps to a huge uint and stops the
+// loop rather than panicking.)
 func (v *Vector) DotDense(w []float64) float64 {
 	var s float64
-	n := int32(len(w))
-	for k, i := range v.Idx {
-		if i >= n {
+	idx := v.Idx
+	val := v.Val[:len(idx)]
+	lw := uint(len(w))
+	k := 0
+	for ; k+3 < len(idx); k += 4 {
+		j0, j1 := uint(int(idx[k])), uint(int(idx[k+1]))
+		j2, j3 := uint(int(idx[k+2])), uint(int(idx[k+3]))
+		if j0|j1|j2|j3 >= lw {
 			break
 		}
-		s += v.Val[k] * w[i]
+		s += val[k] * w[j0]
+		s += val[k+1] * w[j1]
+		s += val[k+2] * w[j2]
+		s += val[k+3] * w[j3]
+	}
+	for ; k < len(idx); k++ {
+		j := uint(int(idx[k]))
+		if j >= lw {
+			break
+		}
+		s += val[k] * w[j]
 	}
 	return s
 }
 
-// AxpyDense computes w += alpha·v into the dense vector w.
+// AxpyDense computes w += alpha·v into the dense vector w, with the
+// same unrolled-gather structure as DotDense. Stores hit strictly
+// increasing (hence distinct) slots, so the unroll cannot reorder two
+// updates to the same element.
 func (v *Vector) AxpyDense(alpha float64, w []float64) {
-	n := int32(len(w))
-	for k, i := range v.Idx {
-		if i >= n {
+	idx := v.Idx
+	val := v.Val[:len(idx)]
+	lw := uint(len(w))
+	k := 0
+	for ; k+3 < len(idx); k += 4 {
+		j0, j1 := uint(int(idx[k])), uint(int(idx[k+1]))
+		j2, j3 := uint(int(idx[k+2])), uint(int(idx[k+3]))
+		if j0|j1|j2|j3 >= lw {
 			break
 		}
-		w[i] += alpha * v.Val[k]
+		w[j0] += alpha * val[k]
+		w[j1] += alpha * val[k+1]
+		w[j2] += alpha * val[k+2]
+		w[j3] += alpha * val[k+3]
+	}
+	for ; k < len(idx); k++ {
+		j := uint(int(idx[k]))
+		if j >= lw {
+			break
+		}
+		w[j] += alpha * val[k]
 	}
 }
 
@@ -196,47 +227,6 @@ func Add(a, b *Vector) *Vector {
 		}
 	}
 	return out
-}
-
-// Accumulator builds supervectors incrementally from (index, weight)
-// observations without requiring sorted insertion. It is the workhorse of
-// expected N-gram counting.
-type Accumulator struct {
-	m map[int32]float64
-}
-
-// NewAccumulator returns an empty accumulator.
-func NewAccumulator() *Accumulator {
-	return &Accumulator{m: make(map[int32]float64)}
-}
-
-// Add accumulates weight w at index i.
-func (a *Accumulator) Add(i int32, w float64) { a.m[i] += w }
-
-// Total returns the sum of all accumulated mass.
-func (a *Accumulator) Total() float64 {
-	var s float64
-	for _, v := range a.m {
-		s += v
-	}
-	return s
-}
-
-// Len returns the number of distinct indices seen.
-func (a *Accumulator) Len() int { return len(a.m) }
-
-// Vector materializes the accumulated contents as a sorted sparse vector.
-func (a *Accumulator) Vector() *Vector { return FromMap(a.m) }
-
-// Normalized materializes the contents scaled to sum to one. An empty
-// accumulator yields an empty vector.
-func (a *Accumulator) Normalized() *Vector {
-	t := a.Total()
-	v := a.Vector()
-	if t > 0 {
-		v.Scale(1 / t)
-	}
-	return v
 }
 
 // String renders the first few entries, for debugging.

@@ -14,6 +14,7 @@ package svm
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -72,9 +73,59 @@ func DefaultOptions() Options {
 	}
 }
 
+// Scratch holds the solver's per-problem working buffers (coordinate
+// order, dual variables, diagonal, costs, and one-vs-rest labels) so
+// repeated training — DBA retraining rounds, the 23 OVR problems —
+// reuses memory instead of reallocating every slice per call. The zero
+// value is ready; buffers grow on demand and are retained.
+type Scratch struct {
+	order []int
+	alpha []float64
+	qii   []float64
+	cost  []float64
+	ys    []int
+}
+
+// grow resizes the scratch buffers to n elements, reusing capacity.
+func (sc *Scratch) grow(n int) {
+	if cap(sc.order) < n {
+		sc.order = make([]int, n)
+		sc.alpha = make([]float64, n)
+		sc.qii = make([]float64, n)
+		sc.cost = make([]float64, n)
+		sc.ys = make([]int, n)
+	}
+	sc.order = sc.order[:n]
+	sc.alpha = sc.alpha[:n]
+	sc.qii = sc.qii[:n]
+	sc.cost = sc.cost[:n]
+	sc.ys = sc.ys[:n]
+}
+
+// scratchPool recycles Scratch instances across TrainOVR workers and
+// DBA retraining rounds.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
 // Train fits a binary SVM. ys must be ±1; dim is the feature dimension
 // (indices ≥ dim are ignored).
 func Train(xs []*sparse.Vector, ys []int, dim int, opt Options) *Model {
+	return trainInto(xs, ys, nil, dim, opt, nil)
+}
+
+// TrainScratch is Train with caller-provided working buffers; repeated
+// calls (DBA retraining) allocate only the model itself.
+func TrainScratch(xs []*sparse.Vector, ys []int, dim int, opt Options, sc *Scratch) *Model {
+	return trainInto(xs, ys, nil, dim, opt, sc)
+}
+
+// trainInto is the dual coordinate-descent core. sharedQii, when
+// non-nil, supplies the precomputed Q_ii diagonal (‖x_i‖²+1) shared by
+// every one-vs-rest problem over the same examples; sc, when non-nil,
+// provides reusable working buffers. The arithmetic — including the
+// Norm2-then-square form of Q_ii — is identical regardless of which
+// buffers are borrowed, so results are bit-for-bit the same as the
+// original Train.
+func trainInto(xs []*sparse.Vector, ys []int, sharedQii []float64, dim int, opt Options, sc *Scratch) *Model {
 	if len(xs) != len(ys) {
 		panic("svm: xs/ys length mismatch")
 	}
@@ -93,13 +144,25 @@ func Train(xs []*sparse.Vector, ys []int, dim int, opt Options) *Model {
 		opt.PositiveWeight = 1
 	}
 
-	alpha := make([]float64, n)
+	if sc == nil {
+		sc = new(Scratch)
+	}
+	sc.grow(n)
+	alpha := sc.alpha
+	for i := range alpha {
+		alpha[i] = 0
+	}
 	// Q_ii = ‖x_i‖² + 1 (bias augmentation).
-	qii := make([]float64, n)
-	cost := make([]float64, n)
+	qii := sc.qii
+	if sharedQii != nil {
+		qii = sharedQii
+	}
+	cost := sc.cost
 	for i, x := range xs {
-		nrm := x.Norm2()
-		qii[i] = nrm*nrm + 1
+		if sharedQii == nil {
+			nrm := x.Norm2()
+			qii[i] = nrm*nrm + 1
+		}
 		if ys[i] > 0 {
 			cost[i] = opt.C * opt.PositiveWeight
 		} else {
@@ -107,19 +170,30 @@ func Train(xs []*sparse.Vector, ys []int, dim int, opt Options) *Model {
 		}
 	}
 	r := rng.New(opt.Seed)
-	order := make([]int, n)
+	order := sc.order
 	for i := range order {
 		order[i] = i
 	}
 	t0 := time.Now()
 	passes := 0
+	// Hoist the weight slice and bias into locals: m escapes (it is
+	// returned), so m.Bias would otherwise be a memory load per
+	// coordinate and a store per update.
+	w := m.W
+	bias := m.Bias
 	for pass := 0; pass < opt.MaxIters; pass++ {
 		passes++
-		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		// Inline Fisher–Yates with the exact rng.Shuffle draw sequence
+		// (j = Intn(i+1) for i = n-1…1): same swaps, same bits, no
+		// closure call per element.
+		for i := n - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
 		maxViolation := 0.0
 		for _, i := range order {
 			yi := float64(ys[i])
-			g := yi*(xs[i].DotDense(m.W)+m.Bias) - 1
+			g := yi*(xs[i].DotDense(w)+bias) - 1
 			// Projected gradient for the box constraint.
 			pg := g
 			if alpha[i] <= 0 && g > 0 {
@@ -144,14 +218,15 @@ func Train(xs []*sparse.Vector, ys []int, dim int, opt Options) *Model {
 			alpha[i] = a
 			d := (a - old) * yi
 			if d != 0 {
-				xs[i].AxpyDense(d, m.W)
-				m.Bias += d
+				xs[i].AxpyDense(d, w)
+				bias += d
 			}
 		}
 		if maxViolation < opt.Eps {
 			break
 		}
 	}
+	m.Bias = bias
 	obsModels.Inc()
 	obsPasses.Add(int64(passes))
 	obsTrainS.Observe(time.Since(t0).Seconds())
@@ -162,15 +237,38 @@ func Train(xs []*sparse.Vector, ys []int, dim int, opt Options) *Model {
 type OneVsRest struct {
 	NumClasses int
 	Models     []*Model
+
+	// Lazily built column-blocked (feature-major) scoring kernel:
+	// packed[j*K+c] = Models[c].W[j], so scoring all K classes is one
+	// pass over a row's nonzeros with K contiguous multiply-adds per
+	// nonzero instead of K separate gathers. Unexported fields are
+	// invisible to gob, so persisted bundles are unchanged.
+	packOnce   sync.Once
+	packed     []float64
+	packedBias []float64
+	packedDim  int
+	packOK     bool
 }
 
-// TrainOneVsRest trains one binary model per class with the remaining
-// classes as negatives (the paper's Eq. 6 initialization). Classes train
-// in parallel — they are independent problems over shared read-only data.
-func TrainOneVsRest(xs []*sparse.Vector, labels []int, numClasses, dim int, opt Options) *OneVsRest {
+// TrainOVR trains one binary model per class with the remaining classes
+// as negatives (the paper's Eq. 6 initialization). The per-example
+// Q_ii = ‖x_i‖²+1 diagonal is computed once and shared read-only by all
+// K problems — it depends only on the features, not the labels — and
+// each worker draws its order/alpha/cost/label buffers from a pool, so
+// the 23 one-vs-rest problems stop redoing 23× the norm work and slice
+// allocations. Classes train in parallel over shared read-only data.
+func TrainOVR(xs []*sparse.Vector, labels []int, numClasses, dim int, opt Options) *OneVsRest {
 	o := &OneVsRest{NumClasses: numClasses, Models: make([]*Model, numClasses)}
+	sharedQii := make([]float64, len(xs))
+	for i, x := range xs {
+		nrm := x.Norm2()
+		sharedQii[i] = nrm*nrm + 1
+	}
 	parallel.ForPool("svm-ovr", numClasses, func(k int) {
-		ys := make([]int, len(labels))
+		sc := scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(sc)
+		sc.grow(len(labels))
+		ys := sc.ys
 		for i, l := range labels {
 			if l == k {
 				ys[i] = 1
@@ -180,18 +278,99 @@ func TrainOneVsRest(xs []*sparse.Vector, labels []int, numClasses, dim int, opt 
 		}
 		kopt := opt
 		kopt.Seed = opt.Seed + uint64(k)*7919
-		o.Models[k] = Train(xs, ys, dim, kopt)
+		o.Models[k] = trainInto(xs, ys, sharedQii, dim, kopt, sc)
 	})
 	return o
+}
+
+// TrainOneVsRest is the historical name for TrainOVR.
+func TrainOneVsRest(xs []*sparse.Vector, labels []int, numClasses, dim int, opt Options) *OneVsRest {
+	return TrainOVR(xs, labels, numClasses, dim, opt)
+}
+
+// pack builds the column-blocked weight matrix. All models must share
+// one weight length for the blocked layout to apply; heterogeneous
+// models (hand-assembled, partial) fall back to per-model scoring.
+func (o *OneVsRest) pack() {
+	if len(o.Models) == 0 {
+		return
+	}
+	dim := -1
+	for _, m := range o.Models {
+		if m == nil {
+			return
+		}
+		if dim == -1 {
+			dim = len(m.W)
+		} else if len(m.W) != dim {
+			return
+		}
+	}
+	K := len(o.Models)
+	packed := make([]float64, dim*K)
+	bias := make([]float64, K)
+	for c, m := range o.Models {
+		bias[c] = m.Bias
+		for j, w := range m.W {
+			packed[j*K+c] = w
+		}
+	}
+	o.packed, o.packedBias, o.packedDim, o.packOK = packed, bias, dim, true
+}
+
+// ScoresInto writes the decision values of all class models for x into
+// out (length NumClasses) and returns it. The packed kernel walks x's
+// nonzeros once in ascending-index order and accumulates K classes per
+// nonzero; per class this is the same addition chain — same index
+// order, same w·x then +bias — as Model.Score, so values are
+// bit-identical to the per-model path.
+func (o *OneVsRest) ScoresInto(x *sparse.Vector, out []float64) []float64 {
+	o.packOnce.Do(o.pack)
+	if !o.packOK {
+		for k, m := range o.Models {
+			out[k] = m.Score(x)
+		}
+		return out
+	}
+	K := o.NumClasses
+	for c := range out {
+		out[c] = 0
+	}
+	val := x.Val[:len(x.Idx)]
+	for k, i := range x.Idx {
+		j := int(i)
+		if j >= o.packedDim {
+			break
+		}
+		xv := val[k]
+		row := o.packed[j*K : j*K+K]
+		for c, w := range row {
+			out[c] += xv * w
+		}
+	}
+	for c := range out {
+		out[c] += o.packedBias[c]
+	}
+	return out
 }
 
 // Scores returns the decision values of all class models for x (the row
 // of the paper's score matrix F, Eq. 9).
 func (o *OneVsRest) Scores(x *sparse.Vector) []float64 {
-	out := make([]float64, o.NumClasses)
-	for k, m := range o.Models {
-		out[k] = m.Score(x)
-	}
+	return o.ScoresInto(x, make([]float64, o.NumClasses))
+}
+
+// ScoreAll scores every row against all classes in parallel, returning
+// one score row per input. Rows are slices of a single flat arena — one
+// allocation for the whole batch instead of one per utterance.
+func (o *OneVsRest) ScoreAll(xs []*sparse.Vector) [][]float64 {
+	K := o.NumClasses
+	flat := make([]float64, len(xs)*K)
+	out := make([][]float64, len(xs))
+	parallel.ForPool("score", len(xs), func(i int) {
+		row := flat[i*K : (i+1)*K : (i+1)*K]
+		out[i] = o.ScoresInto(xs[i], row)
+	})
 	return out
 }
 

@@ -29,6 +29,10 @@ type Features struct {
 	// TF is nil when TFLLR scaling is disabled (ablation).
 	TF      *ngram.TFLLR
 	vectors map[int]*sparse.Vector
+	// mat is the CSR arena backing every cached vector: one contiguous
+	// Idx/Val/RowPtr triple for the whole corpus instead of thousands of
+	// boxed slice pairs.
+	mat *sparse.Matrix
 }
 
 // ExtractOptions controls feature extraction.
@@ -72,10 +76,15 @@ func Extract(fe *frontend.FrontEnd, c *corpus.Corpus, opt ExtractOptions) *Featu
 		r := root.Split(uint64(it.ID))
 		vecs[i] = fe.Space.Supervector(fe.Decode(r, it.U))
 	})
+	// Repack the per-utterance vectors into one CSR matrix so the whole
+	// feature cache lives in three contiguous arenas; the cached entries
+	// are row views into them. TFLLR scaling below mutates values through
+	// the views, which writes into the shared arena as intended.
+	f.mat = sparse.MatrixFromRows(vecs)
 	var nnz int64
 	for i, it := range items {
-		f.vectors[it.ID] = vecs[i]
-		nnz += int64(vecs[i].NNZ())
+		f.vectors[it.ID] = f.mat.Row(i)
+		nnz += int64(f.mat.Row(i).NNZ())
 	}
 	obs.Add("supervector.count", int64(len(items)))
 	obs.Add("supervector.nnz", nnz)
@@ -112,6 +121,10 @@ func (f *Features) Vectors(s *corpus.Split) []*sparse.Vector {
 	return out
 }
 
+// Matrix returns the CSR arena backing the feature cache (nil for
+// hand-assembled Features without one).
+func (f *Features) Matrix() *sparse.Matrix { return f.mat }
+
 // Dim returns the supervector dimension of the front-end.
 func (f *Features) Dim() int { return f.FE.Space.Dim() }
 
@@ -128,16 +141,14 @@ func TrainSubsystem(name string, xs []*sparse.Vector, labels []int, numLangs, di
 	return &Subsystem{
 		Name: name,
 		Dim:  dim,
-		OVR:  svm.TrainOneVsRest(xs, labels, numLangs, dim, opt),
+		OVR:  svm.TrainOVR(xs, labels, numLangs, dim, opt),
 	}
 }
 
 // ScoreMatrix scores a set of utterances against all language models,
 // returning the m×K matrix F_q of Eq. 9.
 func (s *Subsystem) ScoreMatrix(xs []*sparse.Vector) [][]float64 {
-	return parallel.Map(len(xs), func(j int) []float64 {
-		return s.OVR.Scores(xs[j])
-	})
+	return s.OVR.ScoreAll(xs)
 }
 
 // DefaultSVMOptions returns the solver settings used across the
