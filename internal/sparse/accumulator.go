@@ -27,6 +27,14 @@ const accEmptyKey = int32(-1)
 // observations without requiring sorted insertion. It is the workhorse of
 // expected N-gram counting. Indices must be non-negative. The zero value
 // is not usable; construct with NewAccumulator or GetAccumulator.
+//
+// State machine note: Total iterates `used`, which holds first-insertion
+// order only until Vector() is called — Vector() sorts `used` in place,
+// so Total afterwards sums in ascending-index order (still deterministic,
+// just a different float addition sequence). Callers that want the
+// insertion-order sum must call Total before Vector, as Normalized does.
+// Reset and correctness of the table do not depend on the order of
+// `used`; only Total's summation order is affected.
 type Accumulator struct {
 	// keys/vals form an open-addressing (linear probing) hash table;
 	// keys[s] == accEmptyKey means slot s is free.
@@ -35,6 +43,9 @@ type Accumulator struct {
 	// used records distinct indices in first-insertion order, giving
 	// deterministic iteration (unlike map range order) and cheap Reset.
 	used []int32
+	// slots is Reset's scratch: the sparse-clear path must resolve every
+	// live slot before clearing any (see Reset), so it stages them here.
+	slots []uint32
 }
 
 // NewAccumulator returns an empty accumulator.
@@ -126,9 +137,24 @@ func (a *Accumulator) at(k int32) float64 { return a.vals[a.slot(k)] }
 // Reset empties the accumulator, keeping its table capacity.
 func (a *Accumulator) Reset() {
 	if len(a.used)*8 < len(a.keys) {
-		// Sparse occupancy: clear only the live slots.
-		for _, k := range a.used {
-			a.keys[a.slot(k)] = accEmptyKey
+		// Sparse occupancy: clear only the live slots. This must happen
+		// in two passes — resolve every key's slot first, then clear —
+		// because deleting from a linear-probe table entry by entry
+		// breaks the probe chains of keys displaced past a cleared slot:
+		// slot(k) would stop at the fresh hole and miss k's real slot,
+		// leaving a stale entry that later silently absorbs Add mass
+		// without appearing in `used`. (No single clearing order is safe:
+		// insertion order fails as above, and reverse insertion order
+		// fails after grow(), which rehashes in slot order.)
+		if cap(a.slots) < len(a.used) {
+			a.slots = make([]uint32, len(a.used))
+		}
+		slots := a.slots[:len(a.used)]
+		for i, k := range a.used {
+			slots[i] = a.slot(k)
+		}
+		for _, s := range slots {
+			a.keys[s] = accEmptyKey
 		}
 	} else {
 		for i := range a.keys {

@@ -107,6 +107,77 @@ func TestAccumulatorResetReuse(t *testing.T) {
 	}
 }
 
+// TestAccumulatorResetSparseCollisions forces the sparse-occupancy Reset
+// branch (few live keys, so len(used)*8 < len(keys)) with keys that
+// collide under accHash: the multiplier is odd, so k and k+len(keys)
+// hash to the same slot of the power-of-two table. A Reset that clears
+// probe chains entry by entry leaves the displaced key's slot live; the
+// next round's Add then accumulates into that hidden stale slot without
+// appending to used, and Vector() silently drops the key's mass.
+func TestAccumulatorResetSparseCollisions(t *testing.T) {
+	a := NewAccumulator()
+	span := int32(len(a.keys))
+	k1, k2, k3 := int32(7), int32(7)+span, int32(7)+2*span
+	if accHash(k1, uint32(span-1)) != accHash(k2, uint32(span-1)) ||
+		accHash(k1, uint32(span-1)) != accHash(k3, uint32(span-1)) {
+		t.Fatal("test premise broken: keys no longer collide under accHash")
+	}
+	for round := 0; round < 4; round++ {
+		// Insertion order makes k2/k3 displaced past k1's slot.
+		a.Add(k1, 1)
+		a.Add(k2, 2)
+		a.Add(k3, 4)
+		if a.Len() != 3 {
+			t.Fatalf("round %d: len %d, want 3", round, a.Len())
+		}
+		if got := a.Total(); got != 7 {
+			t.Fatalf("round %d: total %v, want 7 (stale colliding slot survived Reset)", round, got)
+		}
+		v := a.Vector()
+		if v.NNZ() != 3 || v.At(k1) != 1 || v.At(k2) != 2 || v.At(k3) != 4 {
+			t.Fatalf("round %d: vector %v dropped or corrupted a colliding key", round, v)
+		}
+		a.Reset() // 3*8 < len(keys): must take the sparse-clear path
+	}
+}
+
+// TestAccumulatorResetSparseCollisionsAfterGrow repeats the collision
+// check after grow() has rehashed the table in slot order (not insertion
+// order), which defeats reverse-insertion-order clearing too. Each round
+// stays under the sparse-Reset threshold of the grown table.
+func TestAccumulatorResetSparseCollisionsAfterGrow(t *testing.T) {
+	a := NewAccumulator()
+	// Grow once: exceed 3/4 of accMinSlots, then Reset (dense path).
+	for i := int32(0); i < int32(accMinSlots); i++ {
+		a.Add(i, 1)
+	}
+	if len(a.keys) == accMinSlots {
+		t.Fatal("test premise broken: table did not grow")
+	}
+	a.Reset()
+	span := int32(len(a.keys))
+	for round := 0; round < 4; round++ {
+		var want float64
+		for c := int32(0); c < 8; c++ { // 8 clusters × 3 colliding keys = 24 live ≪ span/8
+			base := 11 + c*997
+			for j := int32(0); j < 3; j++ {
+				a.Add(base+j*span, float64(base+j))
+				want += float64(base + j)
+			}
+		}
+		if a.Len() != 24 {
+			t.Fatalf("round %d: len %d, want 24", round, a.Len())
+		}
+		if got := a.Total(); got != want {
+			t.Fatalf("round %d: total %v, want %v", round, got, want)
+		}
+		if v := a.Vector(); v.NNZ() != 24 {
+			t.Fatalf("round %d: nnz %d, want 24", round, v.NNZ())
+		}
+		a.Reset()
+	}
+}
+
 func TestAccumulatorGrow(t *testing.T) {
 	a := NewAccumulator()
 	const n = 100_000

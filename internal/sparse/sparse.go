@@ -111,9 +111,11 @@ func Dot(a, b *Vector) float64 {
 // the scalar loop — so results are bit-for-bit unchanged. The block
 // guard ORs the four indices: it can only over-trigger (OR ≥ each
 // operand for non-negative values), and the scalar tail re-checks
-// element by element, so the cutoff stays exact. (A negative index —
-// impossible for a valid vector — wraps to a huge uint and stops the
-// loop rather than panicking.)
+// element by element, so the cutoff stays exact. A negative index —
+// an invariant violation — wraps to a huge uint and stops the loop;
+// the post-loop check then panics so corrupted vectors fail as loudly
+// as they did under the pre-optimization w[i] bounds check instead of
+// silently truncating the product.
 func (v *Vector) DotDense(w []float64) float64 {
 	var s float64
 	idx := v.Idx
@@ -138,13 +140,16 @@ func (v *Vector) DotDense(w []float64) float64 {
 		}
 		s += val[k] * w[j]
 	}
+	if k < len(idx) && idx[k] < 0 {
+		panic("sparse: DotDense on vector with negative index")
+	}
 	return s
 }
 
 // AxpyDense computes w += alpha·v into the dense vector w, with the
-// same unrolled-gather structure as DotDense. Stores hit strictly
-// increasing (hence distinct) slots, so the unroll cannot reorder two
-// updates to the same element.
+// same unrolled-gather structure (and negative-index panic) as
+// DotDense. Stores hit strictly increasing (hence distinct) slots, so
+// the unroll cannot reorder two updates to the same element.
 func (v *Vector) AxpyDense(alpha float64, w []float64) {
 	idx := v.Idx
 	val := v.Val[:len(idx)]
@@ -167,6 +172,9 @@ func (v *Vector) AxpyDense(alpha float64, w []float64) {
 			break
 		}
 		w[j] += alpha * val[k]
+	}
+	if k < len(idx) && idx[k] < 0 {
+		panic("sparse: AxpyDense on vector with negative index")
 	}
 }
 

@@ -80,6 +80,30 @@ func TestDotDenseAndAxpy(t *testing.T) {
 	}
 }
 
+// A negative index is an invariant violation; the kernels must fail
+// loudly (as the pre-optimization w[i] bounds check did) rather than
+// silently truncate the gather at the corrupted element.
+func TestDotDenseNegativeIndexPanics(t *testing.T) {
+	bad := &Vector{Idx: []int32{1, -4, 6}, Val: []float64{1, 1, 1}}
+	w := make([]float64, 8)
+	mustPanic(t, "DotDense", func() { bad.DotDense(w) })
+	mustPanic(t, "AxpyDense", func() { bad.AxpyDense(1, w) })
+	// The same corruption inside the 4-wide unrolled block.
+	bad4 := &Vector{Idx: []int32{0, 1, -2, 3, 5}, Val: []float64{1, 1, 1, 1, 1}}
+	mustPanic(t, "DotDense unrolled", func() { bad4.DotDense(w) })
+	mustPanic(t, "AxpyDense unrolled", func() { bad4.AxpyDense(1, w) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic on negative index", name)
+		}
+	}()
+	f()
+}
+
 func TestAddMatchesDense(t *testing.T) {
 	r := rng.New(2)
 	f := func(seed uint16) bool {
