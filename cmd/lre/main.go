@@ -21,6 +21,16 @@
 // bundle.gob with a manifest.json provenance sidecar (seed, scale,
 // front-ends, git describe). cmd/lred serves it; see README "Serving".
 //
+// Checkpoint/resume (see DESIGN.md "Checkpointing & crash safety"):
+//
+//	lre -scale full -table all -checkpoint-dir ./ckpt           # checkpoint as you go
+//	lre -scale full -table all -checkpoint-dir ./ckpt -resume   # continue a killed run
+//	lre … -checkpoint-every 2 -checkpoint-keep 3                # thin rounds, prune after success
+//	lre … -chaos 'seed=1; checkpoint.save.prepublish:panic:every=1,after=3,count=1'
+//
+// Resumed runs produce byte-identical tables; a corrupt or torn newest
+// checkpoint generation falls back to the previous one.
+//
 // Observability (internal/obs) outputs:
 //
 //	lre -table 5 -trace-out trace.json        # per-stage span tree
@@ -44,9 +54,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/corpus"
 	"repro/internal/dba"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/scorefile"
 	"repro/internal/synthlang"
@@ -72,8 +84,21 @@ func main() {
 		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this path")
 		pprofMem   = flag.String("pprof-mem", "", "write a heap profile at end of run to this path")
 		benchHot   = flag.String("bench-hotpath", "", "run the hot-path before/after benchmark protocol and write the JSON report to this path (see EXPERIMENTS.md)")
+		ckDir      = flag.String("checkpoint-dir", "", "checkpoint directory: phase results are saved here and (with -resume) restored")
+		resume     = flag.Bool("resume", false, "resume from the newest intact generation in -checkpoint-dir (required when the dir already holds checkpoints)")
+		ckEvery    = flag.Int("checkpoint-every", 1, "save every Nth iterative-DBA round checkpoint (phase checkpoints are always saved)")
+		ckKeep     = flag.Int("checkpoint-keep", 0, "after a successful run, prune checkpoint generations older than the newest N (0 = keep all)")
+		chaos      = flag.String("chaos", "", "deterministic fault-injection plan, e.g. \"seed=1; checkpoint.save.prepublish:panic:after=3,count=1\"")
 	)
 	flag.Parse()
+	if *chaos != "" {
+		plan, err := faultinject.ParsePlan(*chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faultinject.Enable(plan)
+		log.Printf("chaos plan armed: %s", *chaos)
+	}
 	if *benchHot != "" {
 		runBenchHotpath(*benchHot)
 		return
@@ -107,11 +132,32 @@ func main() {
 		wantTable("4") || *fig == "3" || *ablation != "" || *scoresOut != "" ||
 		*iterate > 0 || *openset > 0 || *exportDir != ""
 
+	var ck *experiments.Checkpointer
+	var store *checkpoint.Store
+	if *ckDir != "" {
+		store, err = checkpoint.Open(*ckDir, checkpoint.Meta{Scale: scale.String(), Seed: *seed})
+		if err != nil {
+			log.Fatalf("checkpoint dir %s: %v", *ckDir, err)
+		}
+		if store.Generation() > 0 && !*resume {
+			log.Fatalf("checkpoint dir %s already holds generation %d: pass -resume or use a fresh dir",
+				*ckDir, store.Generation())
+		}
+		if store.Generation() > 0 {
+			log.Printf("resuming from checkpoint generation %d (%d entries, %d corrupt generations skipped)",
+				store.Generation(), store.Len(), store.FellBack())
+		}
+		ck = &experiments.Checkpointer{Store: store, Every: *ckEvery}
+	}
+
 	var p *experiments.Pipeline
 	if needPipeline {
 		start := time.Now()
 		log.Printf("building pipeline (scale=%s seed=%d)…", scale, *seed)
-		p = experiments.BuildPipeline(scale, *seed)
+		p, err = experiments.BuildPipelineCK(scale, *seed, ck)
+		if err != nil {
+			log.Fatal(err)
+		}
 		log.Printf("pipeline ready in %.1fs: train=%d dev=%d test=%d utterances × 6 front-ends",
 			time.Since(start).Seconds(), len(p.TrainLabels), len(p.DevLabels), len(p.TestLabels))
 	}
@@ -172,6 +218,14 @@ func main() {
 		}
 		log.Printf("exported bundle to %s: %d front-ends, %d languages, fusion=%v",
 			*exportDir, len(m.FrontEnds), m.NumLanguages, m.Fusion)
+	}
+
+	if store != nil && *ckKeep > 0 {
+		if err := store.Prune(*ckKeep); err != nil {
+			log.Printf("checkpoint prune: %v", err)
+		} else {
+			log.Printf("pruned checkpoint dir to the newest %d generations", *ckKeep)
+		}
 	}
 
 	if *traceOut != "" || *metricsOut != "" || *reportOut != "" {

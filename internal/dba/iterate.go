@@ -21,6 +21,22 @@ type IterativeConfig struct {
 	// StopOnStable terminates when a round selects the same utterance set
 	// with the same labels as the previous one.
 	StopOnStable bool
+	// Checkpoint, when non-nil, persists each completed round and lets a
+	// resumed run skip straight past rounds it already finished. A loaded
+	// round replays the exact post-round state transitions (model swap,
+	// stability check, recalibrated vote scores), so a resumed run is
+	// bit-identical to an uninterrupted one.
+	Checkpoint RoundCheckpoint
+}
+
+// RoundCheckpoint is the hook RunIterative uses to persist round
+// boundaries. LoadRound returns the stored result and retrained models
+// for a round, or ok=false when the round must be computed. SaveRound is
+// called after each computed round; implementations decide cadence and
+// must not fail the run (log and continue).
+type RoundCheckpoint interface {
+	LoadRound(round int) (rr *RoundResult, models []*svm.OneVsRest, ok bool)
+	SaveRound(round int, rr *RoundResult, models []*svm.OneVsRest)
 }
 
 // RoundResult records one boosting round.
@@ -61,6 +77,29 @@ func RunIterative(data []*SubsystemData, trainLabels []int, baseline []*svm.OneV
 	voteScores := baselineScores
 	var prev []Hypothesis
 	for round := 1; round <= cfg.Rounds; round++ {
+		var rr RoundResult
+		if cfg.Checkpoint != nil {
+			if loaded, loadedModels, ok := cfg.Checkpoint.LoadRound(round); ok {
+				// Replay the round from its checkpoint: same RoundResult,
+				// same retrained models, and exactly the same post-round
+				// transitions as the computed path below.
+				obs.Inc("dba.rounds.resumed")
+				out.Rounds = append(out.Rounds, *loaded)
+				models = loadedModels
+				if cfg.StopOnStable && sameSelection(prev, loaded.Selected) {
+					out.Stable = true
+					break
+				}
+				prev = loaded.Selected
+				if round < cfg.Rounds {
+					voteScores = loaded.Scores
+					if recalibrate != nil {
+						voteScores = recalibrate(models, loaded.Scores)
+					}
+				}
+				continue
+			}
+		}
 		roundSp := iterSp.StartChild(fmt.Sprintf("dba.round-%d", round))
 		roundCfg := cfg.Config
 		roundCfg.Span = roundSp
@@ -68,12 +107,16 @@ func RunIterative(data []*SubsystemData, trainLabels []int, baseline []*svm.OneV
 		roundSp.SetAttr("selected", float64(len(o.Selected)))
 		roundSp.End()
 		obs.Inc("dba.rounds")
-		out.Rounds = append(out.Rounds, RoundResult{
+		rr = RoundResult{
 			Round:    round,
 			Selected: o.Selected,
 			Scores:   o.Scores,
-		})
+		}
+		out.Rounds = append(out.Rounds, rr)
 		models = o.Retrained
+		if cfg.Checkpoint != nil {
+			cfg.Checkpoint.SaveRound(round, &rr, models)
+		}
 		if cfg.StopOnStable && sameSelection(prev, o.Selected) {
 			out.Stable = true
 			break

@@ -98,6 +98,143 @@ func TestRunIterativeRecalibrateHookUsed(t *testing.T) {
 	}
 }
 
+// memRoundCheckpoint is an in-memory RoundCheckpoint for the resume
+// tests: rounds saved by one run are replayed by the next.
+type memRoundCheckpoint struct {
+	saved map[int]*iterSnap
+	loads int
+	saves int
+	// stopAfter, when > 0, panics once that many rounds have been saved —
+	// the simulated mid-run kill.
+	stopAfter int
+}
+
+type iterSnap struct {
+	rr     RoundResult
+	models []*svm.OneVsRest
+}
+
+func (m *memRoundCheckpoint) LoadRound(round int) (*RoundResult, []*svm.OneVsRest, bool) {
+	s, ok := m.saved[round]
+	if !ok {
+		return nil, nil, false
+	}
+	m.loads++
+	rr := s.rr
+	return &rr, s.models, true
+}
+
+func (m *memRoundCheckpoint) SaveRound(round int, rr *RoundResult, models []*svm.OneVsRest) {
+	m.saved[round] = &iterSnap{rr: *rr, models: models}
+	m.saves++
+	if m.stopAfter > 0 && m.saves >= m.stopAfter {
+		panic("memRoundCheckpoint: simulated crash")
+	}
+}
+
+func scoresEqual(t *testing.T, a, b [][][]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("subsystem count %d != %d", len(a), len(b))
+	}
+	for q := range a {
+		if len(a[q]) != len(b[q]) {
+			t.Fatalf("subsystem %d: %d rows != %d", q, len(a[q]), len(b[q]))
+		}
+		for j := range a[q] {
+			for k := range a[q][j] {
+				if a[q][j][k] != b[q][j][k] {
+					t.Fatalf("score [%d][%d][%d] differs: %v != %v", q, j, k, a[q][j][k], b[q][j][k])
+				}
+			}
+		}
+	}
+}
+
+func TestRunIterativeResumeBitIdentical(t *testing.T) {
+	r := rng.New(5)
+	data, trainLabels, _ := synthData(r, 20, 15, 3)
+	opt := svm.DefaultOptions()
+	baseline := TrainBaseline(data, trainLabels, 3, opt)
+	baseScores := ScoreAll(baseline, data)
+	base := IterativeConfig{
+		Config: Config{Threshold: 1, Method: M2, NumLangs: 3, SVMOptions: opt},
+		Rounds: 3,
+	}
+
+	// Reference: uninterrupted, no checkpointing.
+	ref := RunIterative(data, trainLabels, baseline, baseScores, base, nil)
+
+	// Run 1: dies after saving round 2 (of 3).
+	ck := &memRoundCheckpoint{saved: make(map[int]*iterSnap), stopAfter: 2}
+	killed := base
+	killed.Checkpoint = ck
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("simulated crash did not fire")
+			}
+		}()
+		RunIterative(data, trainLabels, baseline, baseScores, killed, nil)
+	}()
+	if len(ck.saved) != 2 {
+		t.Fatalf("crashed run persisted %d rounds, want 2", len(ck.saved))
+	}
+
+	// Run 2: resumes from the two saved rounds, computes only round 3.
+	ck.stopAfter = 0
+	resumed := base
+	resumed.Checkpoint = ck
+	out := RunIterative(data, trainLabels, baseline, baseScores, resumed, nil)
+	if ck.loads != 2 {
+		t.Fatalf("resume replayed %d rounds, want 2", ck.loads)
+	}
+	if len(out.Rounds) != len(ref.Rounds) {
+		t.Fatalf("resumed %d rounds, reference %d", len(out.Rounds), len(ref.Rounds))
+	}
+	for i := range ref.Rounds {
+		a, b := ref.Rounds[i], out.Rounds[i]
+		if a.Round != b.Round || len(a.Selected) != len(b.Selected) {
+			t.Fatalf("round %d shape differs", i+1)
+		}
+		for j := range a.Selected {
+			if a.Selected[j] != b.Selected[j] {
+				t.Fatalf("round %d selection differs at %d", i+1, j)
+			}
+		}
+		scoresEqual(t, a.Scores, b.Scores)
+	}
+}
+
+func TestRunIterativeResumeStopsOnStable(t *testing.T) {
+	// A resumed run must apply the StopOnStable check to replayed rounds
+	// too: seed a checkpoint whose rounds 1 and 2 select identically and
+	// verify the run stops at round 2 without computing anything.
+	r := rng.New(6)
+	data, trainLabels, _ := synthData(r, 15, 12, 3)
+	opt := svm.DefaultOptions()
+	baseline := TrainBaseline(data, trainLabels, 3, opt)
+	baseScores := ScoreAll(baseline, data)
+
+	sel := []Hypothesis{{Utt: 0, Label: 1, Votes: 2}}
+	ck := &memRoundCheckpoint{saved: map[int]*iterSnap{
+		1: {rr: RoundResult{Round: 1, Selected: sel, Scores: baseScores}, models: baseline},
+		2: {rr: RoundResult{Round: 2, Selected: sel, Scores: baseScores}, models: baseline},
+	}}
+	out := RunIterative(data, trainLabels, baseline, baseScores, IterativeConfig{
+		Config:       Config{Threshold: 1, Method: M2, NumLangs: 3, SVMOptions: opt},
+		Rounds:       5,
+		StopOnStable: true,
+		Checkpoint:   ck,
+	}, nil)
+	if !out.Stable {
+		t.Fatal("replayed fixed point not detected")
+	}
+	if len(out.Rounds) != 2 {
+		t.Fatalf("stopped after %d rounds, want 2", len(out.Rounds))
+	}
+}
+
 func TestSameSelection(t *testing.T) {
 	a := []Hypothesis{{Utt: 1, Label: 2}, {Utt: 3, Label: 0}}
 	b := []Hypothesis{{Utt: 3, Label: 0}, {Utt: 1, Label: 2}} // order-free

@@ -23,6 +23,7 @@ func (p *Pipeline) IterativeDBA(v int, method dba.Method, rounds int) *dba.Itera
 		},
 		Rounds:       rounds,
 		StopOnStable: true,
+		Checkpoint:   p.ck.roundCheckpoint(v, method),
 	}
 	recal := func(models []*svm.OneVsRest, scores [][][]float64) [][][]float64 {
 		dev := p.DevScores(models)

@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"log"
 	"sync"
 
 	"repro/internal/corpus"
@@ -117,6 +118,9 @@ type Pipeline struct {
 
 	SVMOptions svm.Options
 
+	// ck is the (possibly nil) checkpoint hookup; all uses are nil-safe.
+	ck *Checkpointer
+
 	mu       sync.Mutex
 	outcomes map[outcomeKey]*dba.Outcome
 }
@@ -132,6 +136,23 @@ const NumLangs = synthlang.NumLanguages
 // BuildPipeline generates the corpus, extracts supervectors for all six
 // front-ends, and trains the baseline subsystems.
 func BuildPipeline(scale Scale, seed uint64) *Pipeline {
+	p, err := BuildPipelineCK(scale, seed, nil)
+	if err != nil {
+		// Without a checkpointer the only error source is extraction's
+		// quarantine overflow, which Extract historically panicked on.
+		panic(err)
+	}
+	return p
+}
+
+// BuildPipelineCK is BuildPipeline with checkpoint/resume: when ck is
+// non-nil, each phase (per-front-end extraction, baseline training,
+// baseline scoring) first tries its checkpoint and saves one after
+// computing. Resumed phases are bit-identical to computed ones — gob
+// round-trips float64 exactly, and everything derived (vote calibration,
+// duration indices) is recomputed deterministically. The error return
+// surfaces per-utterance quarantine overflow (see vsm.ExtractChecked).
+func BuildPipelineCK(scale Scale, seed uint64, ck *Checkpointer) (*Pipeline, error) {
 	sp := obs.StartSpan("pipeline.build")
 	defer sp.End()
 	sp.SetLabel("scale", scale.String())
@@ -141,6 +162,7 @@ func BuildPipeline(scale Scale, seed uint64) *Pipeline {
 		Scale:      scale,
 		Seed:       seed,
 		SVMOptions: vsm.DefaultSVMOptions(),
+		ck:         ck,
 		outcomes:   make(map[outcomeKey]*dba.Outcome),
 		TestIdx:    make(map[float64][]int),
 		DevIdx:     make(map[float64][]int),
@@ -155,15 +177,48 @@ func BuildPipeline(scale Scale, seed uint64) *Pipeline {
 	// Supervector extraction decodes every utterance through every
 	// front-end — the pipeline's dominant cost. Each front-end gets its own
 	// child span (they extract concurrently, so siblings overlap in time).
+	// With a checkpointer, a front-end whose snapshot verifies is restored
+	// instead of re-decoded; Store.Save serializes internally, so the
+	// parallel loop can checkpoint each front-end as it finishes.
 	extractSp := sp.StartChild("extract")
 	p.Feats = make([]*vsm.Features, len(p.FEs))
+	extractErrs := make([]error, len(p.FEs))
 	parallel.For(len(p.FEs), func(q int) {
-		feSp := extractSp.StartChild("extract." + p.FEs[q].Name)
-		p.Feats[q] = vsm.Extract(p.FEs[q], p.Corpus, vsm.ExtractOptions{Seed: seed})
-		feSp.SetAttr("dim", float64(p.Feats[q].Dim()))
-		feSp.End()
+		fe := p.FEs[q]
+		feSp := extractSp.StartChild("extract." + fe.Name)
+		defer feSp.End()
+		key := "features-" + fe.Name
+		var snap vsm.FeaturesSnapshot
+		if ck.load(key, &snap) {
+			if f, err := vsm.RestoreFeatures(fe, &snap); err == nil && featuresCover(f, p.Corpus) {
+				p.Feats[q] = f
+				feSp.SetLabel("source", "checkpoint")
+				feSp.SetAttr("dim", float64(f.Dim()))
+				obs.Inc("checkpoint.features.restored")
+				return
+			} else if err != nil {
+				log.Printf("experiments: checkpoint %q does not fit this run, recomputing: %v", key, err)
+				obs.Inc("checkpoint.recompute")
+			} else {
+				log.Printf("experiments: checkpoint %q misses utterances of this corpus, recomputing", key)
+				obs.Inc("checkpoint.recompute")
+			}
+		}
+		f, err := vsm.ExtractChecked(fe, p.Corpus, vsm.ExtractOptions{Seed: seed})
+		if err != nil {
+			extractErrs[q] = err
+			return
+		}
+		p.Feats[q] = f
+		feSp.SetAttr("dim", float64(f.Dim()))
+		ck.save(key, f.Snapshot())
 	})
 	extractSp.End()
+	for _, err := range extractErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	pooled := p.Corpus.AllTest()
 	p.TrainLabels = p.Corpus.Train.Labels()
@@ -199,16 +254,31 @@ func BuildPipeline(scale Scale, seed uint64) *Pipeline {
 		}
 	}
 
-	trainSp := sp.StartChild("train-baseline")
-	p.Baseline = dba.TrainBaseline(p.Data, p.TrainLabels, NumLangs, p.SVMOptions)
-	trainSp.SetAttr("subsystems", float64(len(p.Data)))
-	trainSp.End()
-	scoreSp := sp.StartChild("score-baseline")
-	p.BaselineScores = dba.ScoreAll(p.Baseline, p.Data)
-	scoreSp.End()
-	devSp := sp.StartChild("dev-score")
-	p.BaselineDev = p.DevScores(p.Baseline)
-	devSp.End()
+	// Baseline phase: models and their raw test/dev score matrices are
+	// checkpointed as a pair — restoring models without their scores (or
+	// vice versa) would split one phase across two generations.
+	var baseline []*svm.OneVsRest
+	var ss scoresSnap
+	if ck.load("baseline", &baseline) && ck.load("baseline-scores", &ss) &&
+		len(baseline) == len(p.Data) && len(ss.Test) == len(p.Data) && len(ss.Dev) == len(p.Data) {
+		p.Baseline = baseline
+		p.BaselineScores = ss.Test
+		p.BaselineDev = ss.Dev
+		obs.Inc("checkpoint.baseline.restored")
+	} else {
+		trainSp := sp.StartChild("train-baseline")
+		p.Baseline = dba.TrainBaseline(p.Data, p.TrainLabels, NumLangs, p.SVMOptions)
+		trainSp.SetAttr("subsystems", float64(len(p.Data)))
+		trainSp.End()
+		scoreSp := sp.StartChild("score-baseline")
+		p.BaselineScores = dba.ScoreAll(p.Baseline, p.Data)
+		scoreSp.End()
+		devSp := sp.StartChild("dev-score")
+		p.BaselineDev = p.DevScores(p.Baseline)
+		devSp.End()
+		ck.save("baseline", p.Baseline)
+		ck.save("baseline-scores", &scoresSnap{Test: p.BaselineScores, Dev: p.BaselineDev})
+	}
 
 	// Vote calibration: the Eq. 13 criterion (target > 0, all others < 0)
 	// needs each language model's zero to sit at a sensible detection
@@ -223,7 +293,7 @@ func BuildPipeline(scale Scale, seed uint64) *Pipeline {
 	calSp := sp.StartChild("vote-calibrate")
 	p.VoteScores = p.calibratedVoteScores()
 	calSp.End()
-	return p
+	return p, nil
 }
 
 // VoteCalibrationFA is the dev false-alarm rate at which vote thresholds
@@ -288,7 +358,11 @@ func voteShiftsForTier(devMat [][]float64, devLabels []int, tierIdx []int, fa fl
 }
 
 // DBAOutcome runs (or returns the memoized) DBA pass for a threshold and
-// method.
+// method. With a checkpoint store attached, a completed pass is restored
+// from disk instead of retrained: the snapshot stores the pass's products
+// (selection, retrained models, second-pass scores) and the vote tally is
+// recomputed from the pipeline's calibrated scores, which is bit-identical
+// integer counting.
 func (p *Pipeline) DBAOutcome(v int, method dba.Method) *dba.Outcome {
 	key := outcomeKey{v: v, method: method}
 	p.mu.Lock()
@@ -297,6 +371,22 @@ func (p *Pipeline) DBAOutcome(v int, method dba.Method) *dba.Outcome {
 		return o
 	}
 	p.mu.Unlock()
+	ckKey := fmt.Sprintf("dba-v%d-%s", v, method)
+	var snap dbaSnap
+	if p.ck.load(ckKey, &snap) && len(snap.Retrained) == len(p.Data) {
+		o := &dba.Outcome{
+			BaselineScores: p.VoteScores,
+			Votes:          dba.CountVotes(p.VoteScores),
+			Selected:       snap.Selected,
+			Retrained:      snap.Retrained,
+			Scores:         snap.Scores,
+		}
+		obs.Inc("checkpoint.dba.restored")
+		p.mu.Lock()
+		p.outcomes[key] = o
+		p.mu.Unlock()
+		return o
+	}
 	o := dba.Run(p.Data, p.TrainLabels, p.Baseline, p.VoteScores, dba.Config{
 		Threshold:  v,
 		Method:     method,
@@ -308,6 +398,7 @@ func (p *Pipeline) DBAOutcome(v int, method dba.Method) *dba.Outcome {
 		// scores, not the vote-calibrated copy dba.Run echoes back.
 		o.Scores = p.BaselineScores
 	}
+	p.ck.save(ckKey, &dbaSnap{Selected: o.Selected, Retrained: o.Retrained, Scores: o.Scores})
 	p.mu.Lock()
 	p.outcomes[key] = o
 	p.mu.Unlock()

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/corpus"
 	"repro/internal/dba"
 	"repro/internal/fusion"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/svm"
 )
 
@@ -217,7 +220,15 @@ func (p *Pipeline) evalFused(fused [][]float64) map[float64]Cell {
 }
 
 // RunTable4 assembles the fusion comparison at threshold v (paper: 3).
+// The finished table is checkpointed whole — fusion training is the last
+// expensive phase, so a resumed run that died after it replays nothing.
 func RunTable4(p *Pipeline, v int) *Table4 {
+	ckKey := fmt.Sprintf("table4-v%d", v)
+	var cached Table4
+	if p.ck.load(ckKey, &cached) && cached.V == v {
+		obs.Inc("checkpoint.table4.restored")
+		return &cached
+	}
 	t := &Table4{
 		Durations:      corpus.Durations,
 		V:              v,
@@ -264,6 +275,7 @@ func RunTable4(p *Pipeline, v int) *Table4 {
 	counts := append(append([]int{}, perFE...), perFE...)
 	weights := fusion.SelectionWeights(counts)
 	t.DBAFusion = p.evalFused(p.fusePerDuration(devAll, testAll, weights))
+	p.ck.save(ckKey, t)
 	return t
 }
 

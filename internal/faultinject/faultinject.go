@@ -18,7 +18,7 @@
 // At/Disturb/Reader):
 //
 //	lattice.sausage        confusion-network construction (panic/delay)
-//	frontend.decode        simulated recognizer decode (panic/delay)
+//	frontend.decode        simulated recognizer decode (error→quarantine/panic/delay)
 //	persist.save           model save before the atomic rename (error)
 //	persist.load.read      model read stream — partial/torn reads (error)
 //	parallel.task          worker-pool task body (panic/stall)
@@ -26,6 +26,15 @@
 //	serve.batch            batch dispatch — queue pressure (delay/panic)
 //	serve.score.fe.<name>  one front-end's scoring pass (error/panic)
 //	serve.reload           model registry reload (error)
+//
+// Checkpoint/resume sites (the kill-and-resume suite and lre -chaos
+// schedule crashes here; see internal/checkpoint):
+//
+//	checkpoint.save             save entry point (error aborts cleanly)
+//	checkpoint.save.prepublish  bytes durable, before the manifest rename (crash-before-commit)
+//	checkpoint.save.postpublish after the manifest rename (crash-after-commit)
+//	checkpoint.load             entry load entry point (error)
+//	checkpoint.load.read        entry read stream — partial/torn reads (error)
 package faultinject
 
 import (

@@ -241,6 +241,36 @@ func (f *FrontEnd) Decode(r *rng.RNG, u *synthlang.Utterance) *lattice.Lattice {
 	// panics or stalls here — the isolation layers in callers (worker
 	// pools, the serve batcher) are what the chaos suite exercises.
 	faultinject.Disturb("frontend.decode")
+	l := lattice.FromSausage(f.decodeSlots(r, u))
+	obsDecodedUtts.Inc()
+	obsLatticeArcs.Add(int64(l.NumEdges()))
+	return l
+}
+
+// DecodeChecked is Decode with an error path: the decoded confusion
+// network goes through lattice.ParseSausage (the validating builder), so
+// a corrupt decode — an injected fault at the frontend.decode or
+// lattice.sausage site, or a genuinely malformed sausage — comes back as
+// an error the offline pipeline can quarantine per-utterance instead of
+// aborting the whole extraction phase. The randomness consumed is
+// identical to Decode's, and a clean decode yields the identical lattice.
+func (f *FrontEnd) DecodeChecked(r *rng.RNG, u *synthlang.Utterance) (*lattice.Lattice, error) {
+	if err := faultinject.At("frontend.decode"); err != nil {
+		return nil, err
+	}
+	l, err := lattice.ParseSausage(f.decodeSlots(r, u), f.Set.Size)
+	if err != nil {
+		return nil, err
+	}
+	obsDecodedUtts.Inc()
+	obsLatticeArcs.Add(int64(l.NumEdges()))
+	return l, nil
+}
+
+// decodeSlots runs the simulated error process and emits the confusion
+// network slots; Decode and DecodeChecked share it so both consume the
+// caller's randomness stream identically.
+func (f *FrontEnd) decodeSlots(r *rng.RNG, u *synthlang.Utterance) []lattice.SausageSlot {
 	acc := f.accuracy(u.Channel)
 	var slots []lattice.SausageSlot
 	emit := func(truePhone int) {
@@ -303,10 +333,7 @@ func (f *FrontEnd) Decode(r *rng.RNG, u *synthlang.Utterance) *lattice.Lattice {
 		fePhone := f.Set.Map(u.Segments[0].Phone)
 		slots = append(slots, lattice.SausageSlot{{Phone: fePhone, Prob: 1}})
 	}
-	l := lattice.FromSausage(slots)
-	obsDecodedUtts.Inc()
-	obsLatticeArcs.Add(int64(l.NumEdges()))
-	return l
+	return slots
 }
 
 // Supervector decodes and converts to the per-order-normalized phonotactic

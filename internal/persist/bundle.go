@@ -1,6 +1,8 @@
 package persist
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -90,6 +92,13 @@ type Manifest struct {
 	NumLanguages int      `json:"num_languages"`
 	Fusion       bool     `json:"fusion"`
 	BundleFile   string   `json:"bundle_file"`
+	// BundleSHA256 is the hex SHA-256 of the complete (sealed) bundle
+	// file, recorded at export time; LoadBundle re-verifies it, so a
+	// manifest/bundle mismatch (partial copy, wrong file swapped in) is
+	// caught even when each file is individually well-formed. Empty in
+	// bundles written before the field existed — then only the bundle
+	// file's own integrity footer applies.
+	BundleSHA256 string `json:"bundle_sha256,omitempty"`
 }
 
 // SaveBundle writes a bundle directory: bundle.gob first, manifest.json
@@ -111,19 +120,20 @@ func SaveBundle(dir string, b *Bundle, m Manifest) error {
 	}
 	m.NumLanguages = len(b.Languages)
 	m.Fusion = b.Fusion != nil
-	if err := Save(filepath.Join(dir, m.BundleFile), b); err != nil {
+	sealed, err := MarshalSealed(b)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(sealed)
+	m.BundleSHA256 = hex.EncodeToString(sum[:])
+	if err := WriteFileAtomic(filepath.Join(dir, m.BundleFile), sealed, "persist.save"); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("persist: manifest: %w", err)
 	}
-	tmp := filepath.Join(dir, ManifestName+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("persist: manifest: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
-		os.Remove(tmp)
+	if err := WriteFileAtomic(filepath.Join(dir, ManifestName), append(data, '\n'), ""); err != nil {
 		return fmt.Errorf("persist: manifest: %w", err)
 	}
 	return nil
@@ -145,6 +155,16 @@ func LoadBundle(dir string) (*Bundle, *Manifest, error) {
 	file := m.BundleFile
 	if file == "" {
 		file = defaultBundleFile
+	}
+	if m.BundleSHA256 != "" {
+		raw, err := os.ReadFile(filepath.Join(dir, file))
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: bundle %s: %w", file, err)
+		}
+		sum := sha256.Sum256(raw)
+		if hex.EncodeToString(sum[:]) != m.BundleSHA256 {
+			return nil, nil, fmt.Errorf("persist: bundle %s does not match the manifest's SHA-256 (%w)", file, ErrCorrupt)
+		}
 	}
 	var b Bundle
 	if err := Load(filepath.Join(dir, file), &b); err != nil {

@@ -1,6 +1,8 @@
 package persist
 
 import (
+	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -175,6 +177,89 @@ func TestBundleTruncatedFileIsWrappedError(t *testing.T) {
 		if !strings.Contains(err.Error(), "persist:") {
 			t.Fatalf("truncation error not wrapped: %v", err)
 		}
+	}
+}
+
+func TestBundleCorruptByteIsErrCorrupt(t *testing.T) {
+	b, _ := trainedBundle(t, 7)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, b, Manifest{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "bundle.gob")
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte at several depths — payload, near the footer, inside
+	// the footer. Each must be detected as ErrCorrupt (by the manifest's
+	// bundle SHA-256 and again by the file's own footer).
+	for _, frac := range []float64{0.1, 0.5, 0.999} {
+		data := append([]byte(nil), orig...)
+		data[int(float64(len(data))*frac)] ^= 0x20
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := LoadBundle(dir)
+		if err == nil {
+			t.Fatalf("flipped byte at %.0f%% loaded successfully", frac*100)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flipped byte at %.0f%%: error %v is not ErrCorrupt", frac*100, err)
+		}
+	}
+}
+
+func TestBundleTornTailIsErrCorrupt(t *testing.T) {
+	b, _ := trainedBundle(t, 8)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, b, Manifest{Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "bundle.gob")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadBundle(dir)
+	if err == nil {
+		t.Fatal("torn bundle loaded successfully")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn-tail error %v is not ErrCorrupt", err)
+	}
+}
+
+func TestBundleLegacyManifestWithoutSHALoads(t *testing.T) {
+	// Bundles exported before BundleSHA256 existed have no hash in the
+	// manifest; they must still load (the file's own footer still applies).
+	b, _ := trainedBundle(t, 9)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, b, Manifest{Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(dir, ManifestName)
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "bundle_sha256")
+	stripped, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpath, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadBundle(dir); err != nil {
+		t.Fatalf("manifest without bundle_sha256 failed to load: %v", err)
 	}
 }
 

@@ -3,10 +3,18 @@
 // scalers, phone language models, and fusion backends. A production
 // deployment trains once and scores many times; this package is the
 // boundary between the two.
+//
+// Files written by Save are *sealed*: the gob stream carries a v2 header
+// and the file ends in a CRC32 + SHA-256 + length integrity footer (see
+// footer.go), so a flipped byte or a torn tail is detected at load time
+// as a typed ErrCorrupt instead of decoding into garbage. Legacy v1 files
+// (no footer) still load. internal/checkpoint reuses the same sealed
+// format for pipeline snapshots.
 package persist
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -15,13 +23,18 @@ import (
 	"repro/internal/faultinject"
 )
 
-// magic versions the on-disk format.
-const magic = "repro-model-v1"
+// magic versions the on-disk format: v1 is the legacy footerless stream,
+// v2 declares that an integrity footer follows the gob body. A v2 header
+// with no valid footer means the file lost its tail.
+const (
+	magic       = "repro-model-v1"
+	magicSealed = "repro-model-v2"
+)
 
-// SaveTo writes a model to a writer.
-func SaveTo(w io.Writer, v any) error {
+// encodeTo writes the versioned gob stream (header + body) to w.
+func encodeTo(w io.Writer, header string, v any) error {
 	enc := gob.NewEncoder(w)
-	if err := enc.Encode(magic); err != nil {
+	if err := enc.Encode(header); err != nil {
 		return fmt.Errorf("persist: header: %w", err)
 	}
 	if err := enc.Encode(v); err != nil {
@@ -30,63 +43,89 @@ func SaveTo(w io.Writer, v any) error {
 	return nil
 }
 
-// LoadFrom reads a model from a reader into v (a pointer).
+// SaveTo writes a model to a writer as a legacy (footerless) v1 stream —
+// for pipes and embedded streams where a trailing footer has no tail to
+// live in. Files should go through Save, which seals them.
+func SaveTo(w io.Writer, v any) error {
+	return encodeTo(w, magic, v)
+}
+
+// LoadFrom reads a model from a reader into v (a pointer). Both v1 and v2
+// headers are accepted; any trailing footer bytes are left unread, so a
+// sealed file can be streamed through LoadFrom (without integrity
+// verification — use Load for that).
 func LoadFrom(r io.Reader, v any) error {
 	dec := gob.NewDecoder(r)
 	var got string
 	if err := dec.Decode(&got); err != nil {
-		return fmt.Errorf("persist: header: %w", err)
+		return fmt.Errorf("persist: header: %w (%w)", err, ErrCorrupt)
 	}
-	if got != magic {
-		return fmt.Errorf("persist: bad magic %q (want %q)", got, magic)
+	if got != magic && got != magicSealed {
+		return fmt.Errorf("persist: bad magic %q (want %q or %q)", got, magic, magicSealed)
 	}
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("persist: body: %w", err)
+		return fmt.Errorf("persist: body: %w (%w)", err, ErrCorrupt)
 	}
 	return nil
 }
 
-// Save writes a model to a file (atomically via a temp file + rename).
+// Save writes a model to a file: sealed gob bytes (v2 header + integrity
+// footer) published atomically via a temp file + rename. The persist.save
+// fault site sits between the complete temp file and the rename, modeling
+// a crash after the bytes are written but before they are published — the
+// atomic-save contract says the destination must be untouched.
 func Save(path string, v any) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	data, err := MarshalSealed(v)
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(f)
-	if err := SaveTo(bw, v); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	// Chaos hook: a fault here models a crash after the temp file is fully
-	// written but before it is published — the atomic-save contract says
-	// the destination must be untouched.
-	if err := faultinject.At("persist.save"); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return WriteFileAtomic(path, data, "persist.save")
 }
 
 // Load reads a model from a file into v (a pointer). The read stream runs
 // through the persist.load.read fault site, so chaos plans can simulate
-// partial reads and torn files; decoding such a stream must fail cleanly,
-// never panic or succeed with garbage.
+// partial reads and torn files; a sealed file that fails its footer check
+// — flipped byte, torn tail, truncation — returns a wrapped ErrCorrupt,
+// never a panic or garbage decode. Legacy v1 files load without a footer
+// check (their decode failures are still reported as ErrCorrupt).
 func Load(path string, v any) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return LoadFrom(faultinject.Reader("persist.load.read", bufio.NewReader(f)), v)
+	data, err := io.ReadAll(faultinject.Reader("persist.load.read", bufio.NewReader(f)))
+	if err != nil {
+		return fmt.Errorf("persist: read %s: %w", path, err)
+	}
+	return unseal(data, v)
+}
+
+// unseal decodes a complete file image: footer-verified when sealed,
+// legacy path when the v1 header says no footer ever existed.
+func unseal(data []byte, v any) error {
+	if hasFooter(data) {
+		payload, err := Unseal(data)
+		if err != nil {
+			return err
+		}
+		return LoadFrom(bytes.NewReader(payload), v)
+	}
+	// No footer at the tail: either a legacy v1 file, or a sealed file
+	// whose tail was torn off. The header tells them apart.
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	var got string
+	if err := dec.Decode(&got); err != nil {
+		return fmt.Errorf("persist: header: %w (%w)", err, ErrCorrupt)
+	}
+	switch got {
+	case magicSealed:
+		return fmt.Errorf("%w: sealed file lost its integrity footer (torn tail)", ErrCorrupt)
+	case magic:
+		if err := dec.Decode(v); err != nil {
+			return fmt.Errorf("persist: body: %w (%w)", err, ErrCorrupt)
+		}
+		return nil
+	}
+	return fmt.Errorf("persist: bad magic %q (want %q or %q)", got, magic, magicSealed)
 }

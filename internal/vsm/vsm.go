@@ -12,6 +12,8 @@ package vsm
 
 import (
 	"fmt"
+	"log"
+	"sort"
 
 	"repro/internal/corpus"
 	"repro/internal/frontend"
@@ -27,13 +29,30 @@ import (
 type Features struct {
 	FE *frontend.FrontEnd
 	// TF is nil when TFLLR scaling is disabled (ablation).
-	TF      *ngram.TFLLR
-	vectors map[int]*sparse.Vector
+	TF *ngram.TFLLR
+	// Quarantined lists utterances whose decode produced a corrupt
+	// lattice; each carries an empty supervector in the cache (it scores
+	// as bias-only) so downstream shapes stay intact. Empty on healthy
+	// runs.
+	Quarantined []QuarantinedUtterance
+	vectors     map[int]*sparse.Vector
 	// mat is the CSR arena backing every cached vector: one contiguous
 	// Idx/Val/RowPtr triple for the whole corpus instead of thousands of
 	// boxed slice pairs.
 	mat *sparse.Matrix
 }
+
+// QuarantinedUtterance records one utterance skipped during extraction.
+type QuarantinedUtterance struct {
+	ItemID int
+	Err    string
+}
+
+// DefaultMaxQuarantineFrac is the fraction of corrupt utterances a
+// front-end's extraction tolerates before the phase fails outright: a
+// handful of bad lattices is data damage worth surviving, a third of the
+// corpus is a broken decoder worth failing loudly on.
+const DefaultMaxQuarantineFrac = 0.05
 
 // ExtractOptions controls feature extraction.
 type ExtractOptions struct {
@@ -43,6 +62,11 @@ type ExtractOptions struct {
 	DisableTFLLR bool
 	// TFLLRFloor is the background probability floor.
 	TFLLRFloor float64
+	// MaxQuarantineFrac caps the tolerated quarantine rate (corrupt
+	// lattices skipped with an empty supervector); above it
+	// ExtractChecked fails the phase. ≤ 0 means
+	// DefaultMaxQuarantineFrac.
+	MaxQuarantineFrac float64
 }
 
 // Extract decodes every utterance of the corpus through the front-end and
@@ -51,6 +75,22 @@ type ExtractOptions struct {
 // from (seed, front-end name, item ID), so extraction is deterministic and
 // order-independent.
 func Extract(fe *frontend.FrontEnd, c *corpus.Corpus, opt ExtractOptions) *Features {
+	f, err := ExtractChecked(fe, c, opt)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ExtractChecked is Extract with per-utterance quarantine: a corrupt
+// lattice (a lattice.ParseSausage error, organic or injected) skips that
+// utterance — it keeps an empty supervector, is logged, counted
+// (extract.quarantined), and reported on Features.Quarantined — instead
+// of aborting the whole phase. If the quarantine rate exceeds
+// MaxQuarantineFrac the phase fails with an error naming the first
+// offender (cap-and-fail: mass corruption means a broken decoder, not
+// salvageable data).
+func ExtractChecked(fe *frontend.FrontEnd, c *corpus.Corpus, opt ExtractOptions) (*Features, error) {
 	if opt.TFLLRFloor <= 0 {
 		opt.TFLLRFloor = 1e-5
 	}
@@ -71,11 +111,38 @@ func Extract(fe *frontend.FrontEnd, c *corpus.Corpus, opt ExtractOptions) *Featu
 	// "pool.decode.*", making utilization and straggler utterances visible
 	// in run reports.
 	vecs := make([]*sparse.Vector, len(items))
+	decodeErrs := make([]error, len(items))
 	parallel.ForPool("decode", len(items), func(i int) {
 		it := items[i]
 		r := root.Split(uint64(it.ID))
-		vecs[i] = fe.Space.Supervector(fe.Decode(r, it.U))
+		lat, err := fe.DecodeChecked(r, it.U)
+		if err != nil {
+			decodeErrs[i] = err
+			vecs[i] = sparse.New(0)
+			return
+		}
+		vecs[i] = fe.Space.Supervector(lat)
 	})
+	for i, err := range decodeErrs {
+		if err != nil {
+			f.Quarantined = append(f.Quarantined, QuarantinedUtterance{ItemID: items[i].ID, Err: err.Error()})
+		}
+	}
+	if n := len(f.Quarantined); n > 0 {
+		obs.Add("extract.quarantined", int64(n))
+		first := f.Quarantined[0]
+		log.Printf("vsm: front-end %s: quarantined %d/%d utterances (first: item %d: %s)",
+			fe.Name, n, len(items), first.ItemID, first.Err)
+		maxFrac := opt.MaxQuarantineFrac
+		if maxFrac <= 0 {
+			maxFrac = DefaultMaxQuarantineFrac
+		}
+		if float64(n) > maxFrac*float64(len(items)) {
+			obs.Inc("extract.quarantine_overflow")
+			return nil, fmt.Errorf("vsm: front-end %s: %d/%d utterances (%.1f%%) quarantined, above the %.1f%% cap; first: item %d: %s",
+				fe.Name, n, len(items), 100*float64(n)/float64(len(items)), 100*maxFrac, first.ItemID, first.Err)
+		}
+	}
 	// Repack the per-utterance vectors into one CSR matrix so the whole
 	// feature cache lives in three contiguous arenas; the cached entries
 	// are row views into them. TFLLR scaling below mutates values through
@@ -100,7 +167,75 @@ func Extract(fe *frontend.FrontEnd, c *corpus.Corpus, opt ExtractOptions) *Featu
 			f.TF.Apply(v)
 		}
 	}
-	return f
+	return f, nil
+}
+
+// FeaturesSnapshot is the serializable form of a Features cache — what
+// the checkpoint store persists per front-end after the extraction
+// phase. Rows hold the post-TFLLR supervectors in ascending-item-ID
+// order; float64 values round-trip through gob bit-exactly, which is
+// what makes resumed runs bit-identical to uninterrupted ones.
+type FeaturesSnapshot struct {
+	FEName      string
+	Dim         int
+	TF          *ngram.TFLLR
+	IDs         []int
+	Rows        []*sparse.Vector
+	Quarantined []QuarantinedUtterance
+}
+
+// Snapshot captures the cache for checkpointing.
+func (f *Features) Snapshot() *FeaturesSnapshot {
+	ids := make([]int, 0, len(f.vectors))
+	for id := range f.vectors {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	rows := make([]*sparse.Vector, len(ids))
+	for i, id := range ids {
+		rows[i] = f.vectors[id]
+	}
+	return &FeaturesSnapshot{
+		FEName:      f.FE.Name,
+		Dim:         f.Dim(),
+		TF:          f.TF,
+		IDs:         ids,
+		Rows:        rows,
+		Quarantined: f.Quarantined,
+	}
+}
+
+// RestoreFeatures rebuilds a Features cache from a snapshot, repacking
+// the rows into a fresh CSR arena. The snapshot must belong to a
+// front-end with the same name and supervector dimension; item coverage
+// is the caller's check (Has).
+func RestoreFeatures(fe *frontend.FrontEnd, snap *FeaturesSnapshot) (*Features, error) {
+	if snap.FEName != fe.Name {
+		return nil, fmt.Errorf("vsm: snapshot belongs to front-end %q, not %q", snap.FEName, fe.Name)
+	}
+	if snap.Dim != fe.Space.Dim() {
+		return nil, fmt.Errorf("vsm: snapshot dimension %d, front-end %q has %d", snap.Dim, fe.Name, fe.Space.Dim())
+	}
+	if len(snap.IDs) != len(snap.Rows) {
+		return nil, fmt.Errorf("vsm: snapshot has %d IDs but %d rows", len(snap.IDs), len(snap.Rows))
+	}
+	f := &Features{
+		FE:          fe,
+		TF:          snap.TF,
+		Quarantined: snap.Quarantined,
+		vectors:     make(map[int]*sparse.Vector, len(snap.IDs)),
+		mat:         sparse.MatrixFromRows(snap.Rows),
+	}
+	for i, id := range snap.IDs {
+		f.vectors[id] = f.mat.Row(i)
+	}
+	return f, nil
+}
+
+// Has reports whether the cache holds a supervector for a corpus item ID.
+func (f *Features) Has(id int) bool {
+	_, ok := f.vectors[id]
+	return ok
 }
 
 // Vector returns the cached supervector for a corpus item ID.
