@@ -176,7 +176,10 @@ func runBench(cfg benchConfig) error {
 		}
 		for _, ci := range order {
 			c := configs[ci]
-			phase, err := runBenchPhase(dir, c.name, c.maxBatch, cfg, bodies, expected, feNames)
+			// Tracing stays at its production default (on) so the
+			// batched-vs-unbatched comparison reflects the shipped config;
+			// the tracing cost itself is -bench-obs's subject.
+			phase, err := runBenchPhase(dir, c.name, c.maxBatch, false, cfg, bodies, expected, feNames)
 			if err != nil {
 				return fmt.Errorf("bench phase %s: %w", c.name, err)
 			}
@@ -246,13 +249,14 @@ func benchRequestsFrom(p *experiments.Pipeline) (bodies [][]byte, expected [][][
 	return bodies, expected, feNames
 }
 
-func runBenchPhase(modelDir, name string, maxBatch int, cfg benchConfig, bodies [][]byte, expected [][][]float64, feNames []string) (*benchPhase, error) {
+func runBenchPhase(modelDir, name string, maxBatch int, disableTracing bool, cfg benchConfig, bodies [][]byte, expected [][][]float64, feNames []string) (*benchPhase, error) {
 	// Fresh metrics per phase so /metricsz reflects this phase only.
 	obs.Reset()
 	s, err := serve.New(serve.Config{
-		ModelDir:   modelDir,
-		MaxBatch:   maxBatch,
-		QueueDepth: 4096, // the bench measures batching, not admission control
+		ModelDir:       modelDir,
+		MaxBatch:       maxBatch,
+		QueueDepth:     4096, // the bench measures batching, not admission control
+		DisableTracing: disableTracing,
 	})
 	if err != nil {
 		return nil, err

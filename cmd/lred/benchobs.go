@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"repro/internal/experiments"
+)
+
+// The observability-overhead benchmark behind BENCH_obs.json's
+// "serve_overhead" section: drive the daemon with the same request mix
+// twice — tracing dark (DisableTracing: spans, /tracez, access log, and
+// rolling windows all off) and tracing on (the production default) — and
+// report what the instrumentation costs. Repeats interleave exactly like
+// the batching benchmark so machine drift cancels, and every response is
+// still checked bit-identical against the batch pipeline: tracing must
+// never change a score.
+
+type obsOverheadReport struct {
+	Scale      string `json:"scale"`
+	Seed       uint64 `json:"seed"`
+	Clients    int    `json:"clients"`
+	Repeats    int    `json:"repeats"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go"`
+
+	Plain  benchSummary `json:"plain"`
+	Traced benchSummary `json:"traced"`
+
+	// ThroughputCostPct is how much aggregate throughput tracing gives up:
+	// (plain - traced) / plain, in percent. LatencyCostP50Pct/P99Pct are
+	// the relative server-side latency regressions. Negative values mean
+	// the traced run measured faster (noise at small overheads).
+	ThroughputCostPct float64 `json:"throughput_cost_pct"`
+	LatencyCostP50Pct float64 `json:"latency_cost_p50_pct"`
+	LatencyCostP99Pct float64 `json:"latency_cost_p99_pct"`
+}
+
+func runBenchObs(cfg benchConfig) error {
+	scale, err := experiments.ParseScale(cfg.scale)
+	if err != nil {
+		return err
+	}
+	log.Printf("bench-obs: building pipeline (scale=%s seed=%d)…", scale, cfg.seed)
+	p := experiments.BuildPipeline(scale, cfg.seed)
+	dir, err := os.MkdirTemp("", "lred-bench-obs")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := p.ExportModels(dir, ""); err != nil {
+		return err
+	}
+	bodies, expected, feNames := benchRequestsFrom(p)
+	log.Printf("bench-obs: %d distinct utterances, %d requests × %d clients per phase",
+		len(bodies), cfg.requests, cfg.clients)
+
+	if cfg.repeats < 1 {
+		cfg.repeats = 1
+	}
+	configs := []struct {
+		name           string
+		disableTracing bool
+	}{
+		{"plain", true},
+		{"traced", false},
+	}
+	runs := make([][]benchPhase, len(configs))
+	for r := 0; r < cfg.repeats; r++ {
+		order := []int{0, 1}
+		if r%2 == 1 {
+			order = []int{1, 0}
+		}
+		for _, ci := range order {
+			c := configs[ci]
+			phase, err := runBenchPhase(dir, c.name, cfg.maxBatch, c.disableTracing, cfg, bodies, expected, feNames)
+			if err != nil {
+				return fmt.Errorf("bench-obs phase %s: %w", c.name, err)
+			}
+			log.Printf("bench-obs: [%d/%d] %-6s %8.1f req/s  p50=%.3gms p99=%.3gms  (%d scores checked, %d mismatches)",
+				r+1, cfg.repeats, phase.Name, phase.Throughput, phase.P50Ms, phase.P99Ms, phase.ScoreChecked, phase.Mismatches)
+			if phase.Mismatches > 0 {
+				return fmt.Errorf("bench-obs phase %s: %d score mismatches — tracing changed scores", c.name, phase.Mismatches)
+			}
+			runs[ci] = append(runs[ci], *phase)
+		}
+	}
+
+	rep := obsOverheadReport{
+		Scale:      scale.String(),
+		Seed:       cfg.seed,
+		Clients:    cfg.clients,
+		Repeats:    cfg.repeats,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Plain:      summarize(runs[0]),
+		Traced:     summarize(runs[1]),
+	}
+	if rep.Plain.Throughput > 0 {
+		rep.ThroughputCostPct = (rep.Plain.Throughput - rep.Traced.Throughput) / rep.Plain.Throughput * 100
+	}
+	if rep.Plain.P50Ms > 0 {
+		rep.LatencyCostP50Pct = (rep.Traced.P50Ms - rep.Plain.P50Ms) / rep.Plain.P50Ms * 100
+	}
+	if rep.Plain.P99Ms > 0 {
+		rep.LatencyCostP99Pct = (rep.Traced.P99Ms - rep.Plain.P99Ms) / rep.Plain.P99Ms * 100
+	}
+
+	if err := mergeBenchObs(cfg.out, &rep); err != nil {
+		return err
+	}
+	log.Printf("bench-obs: tracing costs %.2f%% throughput, %.2f%% p50, %.2f%% p99; wrote %s",
+		rep.ThroughputCostPct, rep.LatencyCostP50Pct, rep.LatencyCostP99Pct, cfg.out)
+	return nil
+}
+
+// mergeBenchObs writes rep under the "serve_overhead" key of out,
+// preserving any other top-level keys already there (BENCH_obs.json also
+// carries the offline pipeline's obs report; JSON consumers ignore keys
+// they don't know).
+func mergeBenchObs(out string, rep *obsOverheadReport) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	doc["serve_overhead"] = enc
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	e := json.NewEncoder(f)
+	e.SetIndent("", "  ")
+	if err := e.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -14,8 +14,29 @@
 //	POST /v1/score/batch  score many utterances in one call
 //	GET  /healthz         process liveness
 //	GET  /readyz          model loaded and not draining
-//	GET  /metricsz        internal/obs run report (counters/gauges/histograms)
+//	GET  /metricsz        serving metrics (see format negotiation below)
+//	GET  /tracez          bounded buffer of recent/slowest/degraded request traces
 //	POST /-/reload        reload the bundle directory (SIGHUP does the same)
+//
+// Metrics format negotiation: /metricsz serves the metrics-only
+// internal/obs report — counters, gauges, histograms, and 1m/5m rolling
+// RED windows — as JSON by default. `?format=prom` (or `prometheus`)
+// switches to the Prometheus text exposition format 0.0.4 (Content-Type
+// `text/plain; version=0.0.4`), with metric names sanitized to the
+// Prometheus alphabet (`serve.http.score.seconds` →
+// `serve_http_score_seconds`), counters suffixed `_total`, and histograms
+// rendered as cumulative `_bucket{le=...}` series closed by `+Inf` plus
+// `_sum`/`_count`. Any other format value is a 400. `lrestat` renders the
+// JSON view as a live terminal dashboard.
+//
+// Tracing: every scoring request accepts a W3C `traceparent` header (or
+// mints a fresh trace), returns the id in the response header and body,
+// and files the finished span tree — queue wait, batch formation,
+// per-front-end scoring, fusion — into the /tracez buffer. Degraded and
+// errored traces are always retained. -no-trace turns all of it off.
+// -access-log emits sampled JSON access-log lines (one object per line,
+// keyed by the same trace id; degraded/errored requests always log) to
+// stderr, stdout, or a file; -access-log-every N keeps every Nth line.
 //
 // Robustness: per-request deadlines (-timeout), 429 + Retry-After when
 // the admission queue is full (-queue), panic-isolated scoring workers,
@@ -32,14 +53,22 @@
 //
 //	lred -models ./models -chaos 'seed=7; serve.score.fe.HU:error:p=0.2'
 //
-// Benchmark mode (writes BENCH_serve.json and exits):
+// Benchmark modes (write a report and exit):
 //
 //	lred -bench-out BENCH_serve.json -bench-scale small -bench-requests 2000
+//	lred -bench-obs BENCH_obs.json -bench-scale small -bench-requests 2000
+//
+// -bench-out measures micro-batching speedup; -bench-obs measures the
+// overhead of request tracing + rolling windows (merged under the
+// "serve_overhead" key, other keys in the file are preserved). Both check
+// every response bit-identical against the offline pipeline.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -70,7 +99,12 @@ func main() {
 		breakerCool   = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker rejects reloads before probing")
 		chaos         = flag.String("chaos", "", "fault-injection plan, e.g. 'seed=7; serve.score.fe.HU:error:p=0.2' (testing only)")
 
+		accessLog      = flag.String("access-log", "stderr", "access-log destination: stderr, stdout, a file path, or 'none'")
+		accessLogEvery = flag.Int("access-log-every", 1, "log every Nth request (degraded/errored always log)")
+		noTrace        = flag.Bool("no-trace", false, "disable request tracing, /tracez, access logging, and rolling-window metrics")
+
 		benchOut      = flag.String("bench-out", "", "run the micro-batching load benchmark, write the report here, and exit")
+		benchObsOut   = flag.String("bench-obs", "", "run the tracing-overhead benchmark, merge the report into this file, and exit")
 		benchScale    = flag.String("bench-scale", "small", "benchmark corpus scale")
 		benchSeed     = flag.Uint64("bench-seed", 42, "benchmark pipeline seed")
 		benchRequests = flag.Int("bench-requests", 2000, "benchmark requests per phase run")
@@ -79,8 +113,8 @@ func main() {
 	)
 	flag.Parse()
 
-	if *benchOut != "" {
-		if err := runBench(benchConfig{
+	if *benchOut != "" || *benchObsOut != "" {
+		cfg := benchConfig{
 			scale:    *benchScale,
 			seed:     *benchSeed,
 			requests: *benchRequests,
@@ -88,7 +122,12 @@ func main() {
 			repeats:  *benchRepeats,
 			maxBatch: *maxBatch,
 			out:      *benchOut,
-		}); err != nil {
+		}
+		run := runBench
+		if *benchObsOut != "" {
+			cfg.out, run = *benchObsOut, runBenchObs
+		}
+		if err := run(cfg); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -106,6 +145,10 @@ func main() {
 		log.Printf("CHAOS MODE: fault injection enabled (seed=%d, %d rules) — not for production",
 			plan.Seed, len(plan.Rules))
 	}
+	logDst, err := openAccessLog(*accessLog)
+	if err != nil {
+		log.Fatal(err)
+	}
 	s, err := serve.New(serve.Config{
 		ModelDir:       *models,
 		MaxBatch:       *maxBatch,
@@ -114,6 +157,9 @@ func main() {
 		Workers:        *workers,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drainTimeout,
+		AccessLog:      logDst,
+		AccessLogEvery: *accessLogEvery,
+		DisableTracing: *noTrace,
 		Reload: serve.ReloadPolicy{
 			Retries:     *reloadRetries,
 			BaseBackoff: *reloadBackoff,
@@ -155,4 +201,23 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("drained cleanly")
+}
+
+// openAccessLog resolves the -access-log flag: the standard streams by
+// name, 'none' (or empty) for off, anything else an append-opened file.
+func openAccessLog(dst string) (io.Writer, error) {
+	switch dst {
+	case "", "none":
+		return nil, nil
+	case "stderr":
+		return os.Stderr, nil
+	case "stdout":
+		return os.Stdout, nil
+	default:
+		f, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("open access log: %w", err)
+		}
+		return f, nil
+	}
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Rendering is a pure function of the fetched report so it can be tested
+// without a live daemon (and so -once output is pipeable).
+
+// render formats one /metricsz report as the dashboard screen.
+func render(rep *obs.Report, target string) string {
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "lrestat — %s", target)
+	if mv := rep.Meta["model_version"]; mv != "" {
+		fmt.Fprintf(&b, "   model v%s", mv)
+	}
+	if fes := rep.Meta["front_ends"]; fes != "" {
+		fmt.Fprintf(&b, "   front-ends %s", fes)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "queue depth %s   inflight %s   draining %s\n\n",
+		fmtGauge(rep.Gauges, "serve.queue.depth"),
+		fmtGauge(rep.Gauges, "serve.http.inflight"),
+		fmtGauge(rep.Gauges, "serve.draining"))
+
+	// RED per endpoint: every serve.http.<name>.seconds window is one row.
+	fmt.Fprintf(&b, "%-10s %9s %9s %9s %9s %9s │ %9s %9s\n",
+		"endpoint", "req/s 1m", "p50 1m", "p95 1m", "p99 1m", "mean 1m", "req/s 5m", "p99 5m")
+	b.WriteString(strings.Repeat("─", 92) + "\n")
+	for _, name := range endpointRows(rep.Windows) {
+		wd := rep.Windows["serve.http."+name+".seconds"]
+		fmt.Fprintf(&b, "%-10s %9.1f %9s %9s %9s %9s │ %9.1f %9s\n",
+			name,
+			wd.M1.RatePerSec, ms(wd.M1.P50Sec), ms(wd.M1.P95Sec), ms(wd.M1.P99Sec), ms(wd.M1.MeanSec),
+			wd.M5.RatePerSec, ms(wd.M5.P99Sec))
+	}
+	b.WriteByte('\n')
+
+	// Errors and degradation (the RED "E"), windowed and cumulative.
+	errs := rep.Windows["serve.http.errors"]
+	deg := rep.Windows["serve.score.degraded"]
+	fmt.Fprintf(&b, "5xx/s 1m %8.2f  (total %d)    degraded/s 1m %8.2f  (total %d)    429 total %d\n",
+		errs.M1.RatePerSec, rep.Counters["serve.http.errors"],
+		deg.M1.RatePerSec, rep.Counters["serve.score.degraded"],
+		rep.Counters["serve.queue.rejected"])
+
+	// Batching health: queue wait and batch size over the last minute.
+	qw := rep.Windows["serve.queue.wait_seconds"]
+	bs := rep.Windows["serve.batch.size"]
+	fmt.Fprintf(&b, "queue wait 1m p50 %s p95 %s p99 %s    batch size 1m mean %.1f (n=%d)\n",
+		ms(qw.M1.P50Sec), ms(qw.M1.P95Sec), ms(qw.M1.P99Sec), bs.M1.MeanSec, bs.M1.Count)
+
+	return b.String()
+}
+
+// endpointRows extracts the endpoint names that have latency windows,
+// sorted for a stable screen layout.
+func endpointRows(windows map[string]obs.WindowsData) []string {
+	var names []string
+	for k := range windows {
+		if rest, ok := strings.CutPrefix(k, "serve.http."); ok {
+			if name, ok := strings.CutSuffix(rest, ".seconds"); ok && name != "" {
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ms renders a seconds quantity as adaptive-precision milliseconds.
+func ms(sec float64) string {
+	v := sec * 1e3
+	switch {
+	case v == 0:
+		return "—"
+	case v < 10:
+		return fmt.Sprintf("%.2fms", v)
+	case v < 100:
+		return fmt.Sprintf("%.1fms", v)
+	default:
+		return fmt.Sprintf("%.0fms", v)
+	}
+}
+
+func fmtGauge(gauges map[string]float64, key string) string {
+	v, ok := gauges[key]
+	if !ok {
+		return "—"
+	}
+	return fmt.Sprintf("%g", v)
+}

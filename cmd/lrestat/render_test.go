@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func sampleReport() *obs.Report {
+	return &obs.Report{
+		Meta: map[string]string{"model_version": "3", "front_ends": "FE0,FE1"},
+		Counters: map[string]int64{
+			"serve.http.errors":         2,
+			"serve.score.degraded":      5,
+			"serve.queue.rejected":      7,
+			"serve.http.score.requests": 900,
+		},
+		Gauges: map[string]float64{
+			"serve.queue.depth":   3,
+			"serve.http.inflight": 12,
+		},
+		Windows: map[string]obs.WindowsData{
+			"serve.http.score.seconds": {
+				M1: obs.WindowStats{Count: 600, RatePerSec: 10, P50Sec: 0.0021, P95Sec: 0.0084, P99Sec: 0.0152, MeanSec: 0.003},
+				M5: obs.WindowStats{Count: 2400, RatePerSec: 8, P99Sec: 0.0201},
+			},
+			"serve.http.batch.seconds": {
+				M1: obs.WindowStats{Count: 60, RatePerSec: 1, P50Sec: 0.011},
+			},
+			"serve.http.errors":        {M1: obs.WindowStats{Count: 2, RatePerSec: 0.03}},
+			"serve.score.degraded":     {M1: obs.WindowStats{Count: 5, RatePerSec: 0.08}},
+			"serve.queue.wait_seconds": {M1: obs.WindowStats{Count: 600, P50Sec: 0.0002, P95Sec: 0.0009, P99Sec: 0.0015}},
+			"serve.batch.size":         {M1: obs.WindowStats{Count: 80, MeanSec: 7.5}},
+		},
+	}
+}
+
+func TestRenderDashboard(t *testing.T) {
+	out := render(sampleReport(), "http://127.0.0.1:8080")
+	for _, want := range []string{
+		"model v3",
+		"front-ends FE0,FE1",
+		"queue depth 3",
+		"inflight 12",
+		"score",  // endpoint row
+		"batch",  // endpoint row
+		"10.0",   // score req/s 1m
+		"2.10ms", // score p50 1m
+		"8.40ms", // p95
+		"15.2ms", // p99 (adaptive precision)
+		"20.1ms", // p99 5m
+		"(total 2)",
+		"(total 5)",
+		"429 total 7",
+		"batch size 1m mean 7.5 (n=80)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	// Endpoint rows are sorted for a stable layout.
+	if strings.Index(out, "batch ") > strings.Index(out, "score ") {
+		t.Errorf("endpoint rows not sorted:\n%s", out)
+	}
+}
+
+func TestRenderEmptyReport(t *testing.T) {
+	// A freshly started daemon (no traffic yet) must render, not panic.
+	out := render(&obs.Report{}, "http://x")
+	if !strings.Contains(out, "lrestat — http://x") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "endpoint") {
+		t.Errorf("table header missing:\n%s", out)
+	}
+}
+
+func TestEndpointRows(t *testing.T) {
+	rows := endpointRows(map[string]obs.WindowsData{
+		"serve.http.score.seconds": {},
+		"serve.http.batch.seconds": {},
+		"serve.queue.wait_seconds": {}, // not an endpoint latency metric
+		"serve.http..seconds":      {}, // degenerate: empty name skipped
+	})
+	if len(rows) != 2 || rows[0] != "batch" || rows[1] != "score" {
+		t.Fatalf("endpointRows = %v, want [batch score]", rows)
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:      "—",
+		0.0005: "0.50ms",
+		0.042:  "42.0ms",
+		0.420:  "420ms",
+	}
+	for sec, want := range cases {
+		if got := ms(sec); got != want {
+			t.Errorf("ms(%v) = %q, want %q", sec, got, want)
+		}
+	}
+}

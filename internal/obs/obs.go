@@ -109,13 +109,23 @@ func (h *Histogram) Quantile(p float64) float64 {
 	if total == 0 {
 		return 0
 	}
+	var counts [numBuckets + 1]int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantileFromCounts(&counts, total, p)
+}
+
+// quantileFromCounts is the shared bucket-walk behind Histogram.Quantile
+// and the merged-window quantiles of window.go.
+func quantileFromCounts(counts *[numBuckets + 1]int64, total int64, p float64) float64 {
 	rank := int64(math.Ceil(p * float64(total)))
 	if rank < 1 {
 		rank = 1
 	}
 	var cum int64
 	for i := 0; i <= numBuckets; i++ {
-		cum += h.counts[i].Load()
+		cum += counts[i]
 		if cum >= rank {
 			return BucketBound(i)
 		}
@@ -140,10 +150,12 @@ const maxRoots = 4096
 // Registry holds named metrics and the finished root spans of a trace.
 // The zero value is not usable; call NewRegistry (or use Default).
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu        sync.RWMutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	windows   map[string]*Window
+	wcounters map[string]*WindowCounter
 
 	spanMu  sync.Mutex
 	roots   []*Span
@@ -153,9 +165,11 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		windows:   make(map[string]*Window),
+		wcounters: make(map[string]*WindowCounter),
 	}
 }
 
@@ -231,6 +245,12 @@ func (r *Registry) Reset() {
 	}
 	for _, h := range r.hists {
 		h.reset()
+	}
+	for _, w := range r.windows {
+		w.reset()
+	}
+	for _, w := range r.wcounters {
+		w.reset()
 	}
 	r.mu.RUnlock()
 	r.spanMu.Lock()

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) of a Report's
+// cumulative metrics, so a standard scraper can consume /metricsz
+// without any JSON shim. Only cumulative counters, gauges, and
+// histograms are rendered — rates and windowed quantiles are the
+// scraper's job (that is the Prometheus data model); the 1m/5m windows
+// stay JSON-only for human consumers like lrestat.
+//
+// Conventions applied:
+//   - metric names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* (every
+//     other rune becomes '_', a leading digit gains a '_' prefix);
+//   - counters gain the conventional `_total` suffix;
+//   - histograms render cumulative `_bucket{le="…"}` series ending in
+//     the explicit `le="+Inf"` bucket, plus `_sum` and `_count`, with
+//     `_count` equal to the `+Inf` bucket by construction;
+//   - report meta renders as comments, keeping the output a pure
+//     exposition document.
+
+// WritePrometheus renders the report's counters, gauges, and histograms
+// in the Prometheus text exposition format.
+func (rep *Report) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, k := range sortedKeys(rep.Meta) {
+		fmt.Fprintf(&b, "# meta %s %s\n", k, rep.Meta[k])
+	}
+	for _, k := range sortedKeys(rep.Counters) {
+		name := SanitizeMetricName(k) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, rep.Counters[k])
+	}
+	for _, k := range sortedKeys(rep.Gauges) {
+		name := SanitizeMetricName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, formatPromValue(rep.Gauges[k]))
+	}
+	for _, k := range sortedKeys(rep.Histograms) {
+		h := rep.Histograms[k]
+		name := SanitizeMetricName(k)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		seenInf := false
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			le := "+Inf"
+			if bk.LE >= 0 {
+				le = formatPromValue(bk.LE)
+			} else {
+				seenInf = true
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		if !seenInf {
+			// Reports predating the always-explicit overflow bucket: close
+			// the series so every exposition ends in +Inf.
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", name, formatPromValue(h.SumSec), name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SanitizeMetricName maps an obs metric name (dotted, free-form) onto
+// the Prometheus name alphabet.
+func SanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatPromValue renders a float the way Prometheus expects (shortest
+// round-trip representation; exposition readers accept e-notation).
+func formatPromValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// seededReport builds a deterministic registry snapshot: fixed counter
+// and gauge values, one histogram with observations spread across small
+// buckets and the overflow bucket, one empty histogram, and a name that
+// needs sanitization.
+func seededReport() *Report {
+	r := NewRegistry()
+	r.Counter("serve.http.score.requests").Add(42)
+	r.Counter("serve.queue.rejected").Add(3)
+	r.Gauge("serve.queue.depth").Set(7)
+	r.Gauge("pool.score.utilization").Set(0.875)
+	h := r.Histogram("serve.http.score.seconds")
+	for _, v := range []float64{1e-6, 2e-6, 5e-4, 5e-4, 0.25, 100.0} {
+		h.Observe(v)
+	}
+	r.Histogram("serve.empty.seconds") // registered but never observed
+	r.Counter("weird-name.100%")       // exercises sanitization
+	rep := r.Snapshot()
+	rep.Meta = map[string]string{"service": "lred", "model_version": "3"}
+	return rep
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := seededReport().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"serve.http.score.seconds": "serve_http_score_seconds",
+		"weird-name.100%":          "weird_name_100_",
+		"100up":                    "_100up",
+		"ok_name:sub":              "ok_name:sub",
+		"":                         "_",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// TestPrometheusRoundTrip parses the rendered exposition back and checks
+// the format invariants a scraper relies on: legal metric names,
+// monotone nondecreasing cumulative buckets ending in +Inf, and
+// _sum/_count agreement with the JSON report.
+func TestPrometheusRoundTrip(t *testing.T) {
+	rep := seededReport()
+	var buf bytes.Buffer
+	if err := rep.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	type histState struct {
+		lastCum  int64
+		lastLE   float64
+		sawInf   bool
+		infCum   int64
+		sum      float64
+		count    int64
+		sawSum   bool
+		sawCount bool
+	}
+	hists := map[string]*histState{}
+	labelRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)_bucket\{le="([^"]+)"\} (\S+)$`)
+
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if m := labelRe.FindStringSubmatch(line); m != nil {
+			name, leStr, cumStr := m[1], m[2], m[3]
+			hs := hists[name]
+			if hs == nil {
+				hs = &histState{lastLE: math.Inf(-1)}
+				hists[name] = hs
+			}
+			cum, err := strconv.ParseInt(cumStr, 10, 64)
+			if err != nil {
+				t.Fatalf("%s: bad cumulative count %q", name, cumStr)
+			}
+			if cum < hs.lastCum {
+				t.Fatalf("%s: cumulative bucket decreased (%d after %d)", name, cum, hs.lastCum)
+			}
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					t.Fatalf("%s: bad le %q", name, leStr)
+				}
+			}
+			if le <= hs.lastLE {
+				t.Fatalf("%s: le not strictly increasing (%g after %g)", name, le, hs.lastLE)
+			}
+			if hs.sawInf {
+				t.Fatalf("%s: bucket after +Inf", name)
+			}
+			if math.IsInf(le, 1) {
+				hs.sawInf, hs.infCum = true, cum
+			}
+			hs.lastCum, hs.lastLE = cum, le
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := fields[0]
+		if !promNameRe.MatchString(name) {
+			t.Fatalf("illegal metric name %q", name)
+		}
+		switch {
+		case strings.HasSuffix(name, "_sum"):
+			base := strings.TrimSuffix(name, "_sum")
+			if hs, ok := hists[base]; ok {
+				hs.sum, _ = strconv.ParseFloat(fields[1], 64)
+				hs.sawSum = true
+			}
+		case strings.HasSuffix(name, "_count"):
+			base := strings.TrimSuffix(name, "_count")
+			if hs, ok := hists[base]; ok {
+				hs.count, _ = strconv.ParseInt(fields[1], 10, 64)
+				hs.sawCount = true
+			}
+		}
+	}
+
+	if len(hists) == 0 {
+		t.Fatal("no histograms parsed")
+	}
+	for name, hs := range hists {
+		if !hs.sawInf {
+			t.Fatalf("%s: no +Inf bucket", name)
+		}
+		if !hs.sawSum || !hs.sawCount {
+			t.Fatalf("%s: missing _sum/_count", name)
+		}
+		if hs.infCum != hs.count {
+			t.Fatalf("%s: +Inf bucket %d != _count %d", name, hs.infCum, hs.count)
+		}
+	}
+
+	// _sum/_count agree with the JSON report for the seeded histogram.
+	hd := rep.Histograms["serve.http.score.seconds"]
+	hs := hists["serve_http_score_seconds"]
+	if hs == nil {
+		t.Fatal("seeded histogram missing from exposition")
+	}
+	if hs.count != hd.Count {
+		t.Fatalf("_count %d != JSON count %d", hs.count, hd.Count)
+	}
+	if math.Abs(hs.sum-hd.SumSec) > 1e-9*math.Max(1, math.Abs(hd.SumSec)) {
+		t.Fatalf("_sum %g != JSON sum %g", hs.sum, hd.SumSec)
+	}
+}
+
+// TestHistogramDataExplicitOverflow is the regression test for the
+// implicit-remainder bug: bucket counts must sum to Count, with the
+// overflow (+Inf) bucket always present and explicit (LE == -1 in JSON),
+// so no consumer ever has to reconstruct it as Count minus the rest.
+func TestHistogramDataExplicitOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.seconds")
+	h.Observe(1e-6) // smallest bucket
+	h.Observe(0.5)  // mid bucket
+	h.Observe(1e9)  // beyond every finite bound: overflow
+	d := r.Snapshot().Histograms["x.seconds"]
+
+	var sum int64
+	for _, b := range d.Buckets {
+		sum += b.Count
+	}
+	if sum != d.Count {
+		t.Fatalf("bucket counts sum to %d, want Count=%d", sum, d.Count)
+	}
+	last := d.Buckets[len(d.Buckets)-1]
+	if last.LE != -1 {
+		t.Fatalf("last bucket LE = %g, want -1 (+Inf)", last.LE)
+	}
+	if last.Count != 1 {
+		t.Fatalf("overflow bucket count = %d, want 1", last.Count)
+	}
+
+	// The +Inf bucket is explicit even when nothing overflowed.
+	h2 := r.Histogram("y.seconds")
+	h2.Observe(0.001)
+	d2 := r.Snapshot().Histograms["y.seconds"]
+	last2 := d2.Buckets[len(d2.Buckets)-1]
+	if last2.LE != -1 || last2.Count != 0 {
+		t.Fatalf("empty overflow bucket must still be explicit: %+v", d2.Buckets)
+	}
+	sum = 0
+	for _, b := range d2.Buckets {
+		sum += b.Count
+	}
+	if sum != d2.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, d2.Count)
+	}
+
+	// An empty histogram reports no buckets at all (Count 0, nothing to
+	// close).
+	r.Histogram("empty.seconds")
+	if d3 := r.Snapshot().Histograms["empty.seconds"]; len(d3.Buckets) != 0 || d3.Count != 0 {
+		t.Fatalf("empty histogram: %+v", d3)
+	}
+}

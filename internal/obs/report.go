@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"strings"
 	"time"
@@ -41,12 +40,17 @@ type BucketCount struct {
 	Count int64   `json:"count"`
 }
 
-// HistogramData is the serializable form of a Histogram.
+// HistogramData is the serializable form of a Histogram. Buckets lists
+// every non-empty finite bucket in ascending order, always closed by the
+// explicit overflow (+Inf) bucket — even when empty — so the bucket
+// counts sum to Count by construction and a cumulative rendering (the
+// Prometheus exposition) never has to infer an implicit remainder.
 type HistogramData struct {
 	Count   int64         `json:"count"`
 	SumSec  float64       `json:"sum_sec"`
 	MeanSec float64       `json:"mean_sec"`
 	P50Sec  float64       `json:"p50_sec"`
+	P95Sec  float64       `json:"p95_sec"`
 	P99Sec  float64       `json:"p99_sec"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
@@ -56,12 +60,15 @@ type HistogramData struct {
 // a human-readable text block (String). cmd/lre writes one per run; the
 // repository's BENCH_obs.json baseline is exactly this structure.
 type Report struct {
-	Meta         map[string]string        `json:"meta,omitempty"`
-	Counters     map[string]int64         `json:"counters,omitempty"`
-	Gauges       map[string]float64       `json:"gauges,omitempty"`
-	Histograms   map[string]HistogramData `json:"histograms,omitempty"`
-	Spans        []*SpanData              `json:"spans,omitempty"`
-	DroppedSpans int64                    `json:"dropped_spans,omitempty"`
+	Meta       map[string]string        `json:"meta,omitempty"`
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Gauges     map[string]float64       `json:"gauges,omitempty"`
+	Histograms map[string]HistogramData `json:"histograms,omitempty"`
+	// Windows holds the rolling 1m/5m views of every windowed metric
+	// (window.go); keys share the namespace of Histograms/Counters.
+	Windows      map[string]WindowsData `json:"windows,omitempty"`
+	Spans        []*SpanData            `json:"spans,omitempty"`
+	DroppedSpans int64                  `json:"dropped_spans,omitempty"`
 }
 
 // Snapshot captures the default registry.
@@ -86,6 +93,15 @@ func (r *Registry) Snapshot() *Report {
 	for name, h := range r.hists {
 		rep.Histograms[name] = histData(h)
 	}
+	if len(r.windows)+len(r.wcounters) > 0 {
+		rep.Windows = make(map[string]WindowsData, len(r.windows)+len(r.wcounters))
+		for name, w := range r.windows {
+			rep.Windows[name] = WindowsData{M1: w.Stats(time.Minute), M5: w.Stats(5 * time.Minute)}
+		}
+		for name, w := range r.wcounters {
+			rep.Windows[name] = WindowsData{M1: w.Stats(time.Minute), M5: w.Stats(5 * time.Minute)}
+		}
+	}
 	r.mu.RUnlock()
 	r.spanMu.Lock()
 	roots := append([]*Span(nil), r.roots...)
@@ -103,17 +119,20 @@ func histData(h *Histogram) HistogramData {
 		SumSec:  h.Sum(),
 		MeanSec: h.Mean(),
 		P50Sec:  h.Quantile(0.50),
+		P95Sec:  h.Quantile(0.95),
 		P99Sec:  h.Quantile(0.99),
 	}
-	for i := 0; i <= numBuckets; i++ {
+	if d.Count == 0 {
+		return d
+	}
+	for i := 0; i < numBuckets; i++ {
 		if n := h.counts[i].Load(); n > 0 {
-			le := BucketBound(i)
-			if math.IsInf(le, 1) {
-				le = -1 // JSON has no +Inf
-			}
-			d.Buckets = append(d.Buckets, BucketCount{LE: le, Count: n})
+			d.Buckets = append(d.Buckets, BucketCount{LE: BucketBound(i), Count: n})
 		}
 	}
+	// The overflow bucket is always explicit (even at zero) so the
+	// bucket counts sum to Count and cumulative renderings close at +Inf.
+	d.Buckets = append(d.Buckets, BucketCount{LE: -1, Count: h.counts[numBuckets].Load()})
 	return d
 }
 
@@ -163,14 +182,16 @@ func (rep *Report) SpansOnly() *Report {
 	return &Report{Meta: rep.Meta, Spans: rep.Spans, DroppedSpans: rep.DroppedSpans}
 }
 
-// MetricsOnly returns a copy containing only counters, gauges, and
-// histograms (for -metrics-out).
+// MetricsOnly returns a copy containing only counters, gauges,
+// histograms, and windows (for -metrics-out and the /metricsz scrape
+// path, which must not serialize span trees on every poll).
 func (rep *Report) MetricsOnly() *Report {
 	return &Report{
 		Meta:       rep.Meta,
 		Counters:   rep.Counters,
 		Gauges:     rep.Gauges,
 		Histograms: rep.Histograms,
+		Windows:    rep.Windows,
 	}
 }
 

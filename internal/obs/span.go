@@ -30,6 +30,17 @@ type Span struct {
 // StartSpan begins a root span recorded in the default registry.
 func StartSpan(name string) *Span { return defaultRegistry.StartSpan(name) }
 
+// NewSpan begins a detached root span that never files into a registry
+// trace — the per-request tracing idiom: the serving tier owns the
+// span's lifecycle and hands the finished tree to a TraceBuffer instead
+// of the process-wide trace (which would otherwise fill its bounded
+// root list with request noise).
+func NewSpan(name string) *Span { return &Span{name: name, start: time.Now()} }
+
+// Data serializes the span subtree (running spans report their elapsed
+// time so far).
+func (s *Span) Data() *SpanData { return spanData(s) }
+
 // StartSpan begins a root span recorded in this registry.
 func (r *Registry) StartSpan(name string) *Span {
 	return &Span{name: name, start: time.Now(), reg: r}

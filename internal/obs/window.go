@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Rolling-window decorators over the cumulative metrics: a Window is a
+// ring of fixed-duration shards, each holding the same lock-free
+// Histogram the registry uses for process-lifetime data, and a
+// WindowCounter is the same ring over a plain atomic count. Together they
+// let /metricsz report live RED metrics (rate over the last 1m/5m,
+// windowed latency quantiles, windowed error and degradation counts)
+// next to the cumulative values, without sacrificing the "recording is a
+// few atomics" cost model: Observe/Add touch exactly one shard, selected
+// by quantized wall time, and stale shards are recycled lazily by the
+// first writer (or reader) that lands on them in a new epoch.
+//
+// Accuracy contract: a window of W seconds merges every shard whose
+// epoch lies inside (now-W, now], i.e. the current partial shard plus
+// the full shards behind it, so a "1m" view covers between W and
+// W+shardDur seconds of traffic. Shard recycling races (two writers
+// hitting a stale shard at an epoch boundary) can smear a handful of
+// observations between adjacent shards; that is within the tolerance of
+// a live view and never perturbs the cumulative metrics.
+
+const (
+	// windowShardDur is the ring's resolution; windows are multiples of it.
+	windowShardDur = 10 * time.Second
+	// windowShardCount covers the largest reported window (5m = 30 full
+	// shards) plus the current partial shard, with headroom.
+	windowShardCount = 32
+)
+
+// WindowStats is one merged window of a Window or WindowCounter, as
+// reported under Report.Windows.
+type WindowStats struct {
+	Count      int64   `json:"count"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	SumSec     float64 `json:"sum_sec,omitempty"`
+	MeanSec    float64 `json:"mean_sec,omitempty"`
+	P50Sec     float64 `json:"p50_sec,omitempty"`
+	P95Sec     float64 `json:"p95_sec,omitempty"`
+	P99Sec     float64 `json:"p99_sec,omitempty"`
+}
+
+// WindowsData is the pair of windows every windowed metric reports.
+type WindowsData struct {
+	M1 WindowStats `json:"1m"`
+	M5 WindowStats `json:"5m"`
+}
+
+// windowShard is one ring slot: the quantized epoch it currently belongs
+// to (0 = never used) and its data.
+type windowShard struct {
+	epoch atomic.Int64
+	hist  Histogram
+}
+
+// Window is a rolling-window histogram: a ring of shard Histograms over
+// quantized wall time.
+type Window struct {
+	shardDur time.Duration
+	now      func() time.Time
+	shards   []windowShard
+}
+
+func newWindow(shardDur time.Duration, shards int, now func() time.Time) *Window {
+	if now == nil {
+		now = time.Now
+	}
+	return &Window{shardDur: shardDur, now: now, shards: make([]windowShard, shards)}
+}
+
+// epochNow quantizes the clock to shard units.
+func (w *Window) epochNow() int64 { return w.now().UnixNano() / int64(w.shardDur) }
+
+// shardFor returns the ring slot for epoch e, recycling it if it still
+// holds an older epoch's data.
+func (w *Window) shardFor(e int64) *windowShard {
+	sh := &w.shards[int(e%int64(len(w.shards)))]
+	if old := sh.epoch.Load(); old != e && sh.epoch.CompareAndSwap(old, e) {
+		sh.hist.reset()
+	}
+	return sh
+}
+
+// Observe records one value (seconds) into the current shard.
+func (w *Window) Observe(v float64) { w.shardFor(w.epochNow()).hist.Observe(v) }
+
+// Stats merges every shard inside the trailing window into one
+// HistogramData-equivalent summary. Rate is count over the nominal
+// window length.
+func (w *Window) Stats(window time.Duration) WindowStats {
+	if window < w.shardDur {
+		window = w.shardDur
+	}
+	nowE := w.epochNow()
+	k := int64(window / w.shardDur)
+	var counts [numBuckets + 1]int64
+	var count int64
+	var sum float64
+	for i := range w.shards {
+		sh := &w.shards[i]
+		e := sh.epoch.Load()
+		if e == 0 || e <= nowE-k || e > nowE {
+			continue
+		}
+		for b := 0; b <= numBuckets; b++ {
+			counts[b] += sh.hist.counts[b].Load()
+		}
+		count += sh.hist.count.Load()
+		sum += sh.hist.Sum()
+	}
+	st := WindowStats{Count: count, RatePerSec: float64(count) / window.Seconds(), SumSec: sum}
+	if count > 0 {
+		st.MeanSec = sum / float64(count)
+		st.P50Sec = quantileFromCounts(&counts, count, 0.50)
+		st.P95Sec = quantileFromCounts(&counts, count, 0.95)
+		st.P99Sec = quantileFromCounts(&counts, count, 0.99)
+	}
+	return st
+}
+
+// reset recycles every shard (Registry.Reset).
+func (w *Window) reset() {
+	for i := range w.shards {
+		w.shards[i].epoch.Store(0)
+		w.shards[i].hist.reset()
+	}
+}
+
+// wcShard is one WindowCounter ring slot.
+type wcShard struct {
+	epoch atomic.Int64
+	v     atomic.Int64
+}
+
+// WindowCounter is a rolling-window counter: the same shard ring as
+// Window over a single atomic count per shard.
+type WindowCounter struct {
+	shardDur time.Duration
+	now      func() time.Time
+	shards   []wcShard
+}
+
+func newWindowCounter(shardDur time.Duration, shards int, now func() time.Time) *WindowCounter {
+	if now == nil {
+		now = time.Now
+	}
+	return &WindowCounter{shardDur: shardDur, now: now, shards: make([]wcShard, shards)}
+}
+
+// Add increments the current shard by d.
+func (w *WindowCounter) Add(d int64) {
+	e := w.now().UnixNano() / int64(w.shardDur)
+	sh := &w.shards[int(e%int64(len(w.shards)))]
+	if old := sh.epoch.Load(); old != e && sh.epoch.CompareAndSwap(old, e) {
+		sh.v.Store(0)
+	}
+	sh.v.Add(d)
+}
+
+// Inc increments the current shard by one.
+func (w *WindowCounter) Inc() { w.Add(1) }
+
+// Stats sums the trailing window.
+func (w *WindowCounter) Stats(window time.Duration) WindowStats {
+	if window < w.shardDur {
+		window = w.shardDur
+	}
+	nowE := w.now().UnixNano() / int64(w.shardDur)
+	k := int64(window / w.shardDur)
+	var count int64
+	for i := range w.shards {
+		sh := &w.shards[i]
+		e := sh.epoch.Load()
+		if e == 0 || e <= nowE-k || e > nowE {
+			continue
+		}
+		count += sh.v.Load()
+	}
+	return WindowStats{Count: count, RatePerSec: float64(count) / window.Seconds()}
+}
+
+// reset recycles every shard (Registry.Reset).
+func (w *WindowCounter) reset() {
+	for i := range w.shards {
+		w.shards[i].epoch.Store(0)
+		w.shards[i].v.Store(0)
+	}
+}
+
+// Registry accessors, mirroring Counter/Gauge/Histogram.
+
+// Window returns (creating if needed) the named rolling-window histogram.
+func (r *Registry) Window(name string) *Window {
+	r.mu.RLock()
+	w, ok := r.windows[name]
+	r.mu.RUnlock()
+	if ok {
+		return w
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok = r.windows[name]; ok {
+		return w
+	}
+	w = newWindow(windowShardDur, windowShardCount, nil)
+	r.windows[name] = w
+	return w
+}
+
+// WindowCounter returns (creating if needed) the named rolling-window
+// counter.
+func (r *Registry) WindowCounter(name string) *WindowCounter {
+	r.mu.RLock()
+	w, ok := r.wcounters[name]
+	r.mu.RUnlock()
+	if ok {
+		return w
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok = r.wcounters[name]; ok {
+		return w
+	}
+	w = newWindowCounter(windowShardDur, windowShardCount, nil)
+	r.wcounters[name] = w
+	return w
+}
+
+// GetWindow returns the named rolling-window histogram of the default
+// registry.
+func GetWindow(name string) *Window { return defaultRegistry.Window(name) }
+
+// GetWindowCounter returns the named rolling-window counter of the
+// default registry.
+func GetWindowCounter(name string) *WindowCounter { return defaultRegistry.WindowCounter(name) }
+
+// ObserveWindowed records v into both the cumulative histogram and the
+// rolling window of the same name — the usual idiom for a serving-path
+// latency that /metricsz reports both ways.
+func ObserveWindowed(name string, v float64) {
+	defaultRegistry.Histogram(name).Observe(v)
+	defaultRegistry.Window(name).Observe(v)
+}
+
+// AddWindowed increments both the cumulative counter and the rolling
+// window counter of the same name.
+func AddWindowed(name string, d int64) {
+	defaultRegistry.Counter(name).Add(d)
+	defaultRegistry.WindowCounter(name).Add(d)
+}

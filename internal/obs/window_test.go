@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock drives window shards deterministically.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestWindowMergesTrailingShards(t *testing.T) {
+	clk := newManualClock()
+	w := newWindow(10*time.Second, 32, clk.Now)
+
+	// Three shards of observations, 10 s apart.
+	w.Observe(0.001)
+	w.Observe(0.001)
+	clk.Advance(10 * time.Second)
+	w.Observe(0.004)
+	clk.Advance(10 * time.Second)
+	w.Observe(0.016)
+
+	st := w.Stats(time.Minute)
+	if st.Count != 4 {
+		t.Fatalf("1m count = %d, want 4", st.Count)
+	}
+	wantRate := 4.0 / 60.0
+	if math.Abs(st.RatePerSec-wantRate) > 1e-12 {
+		t.Fatalf("1m rate = %g, want %g", st.RatePerSec, wantRate)
+	}
+	if st.MeanSec <= 0 || st.P50Sec <= 0 || st.P99Sec < st.P50Sec || st.P95Sec < st.P50Sec {
+		t.Fatalf("degenerate quantiles: %+v", st)
+	}
+	// p50 of {1ms,1ms,4ms,16ms} lands in the 1ms-ish bucket; p99 must
+	// cover the 16ms observation's bucket upper bound.
+	if st.P99Sec < 0.016 {
+		t.Fatalf("p99 = %g, want ≥ 0.016", st.P99Sec)
+	}
+}
+
+func TestWindowExpiresOldShards(t *testing.T) {
+	clk := newManualClock()
+	w := newWindow(10*time.Second, 32, clk.Now)
+
+	w.Observe(0.002)
+	clk.Advance(70 * time.Second) // out of the 1m window, inside 5m
+	w.Observe(0.008)
+
+	if got := w.Stats(time.Minute).Count; got != 1 {
+		t.Fatalf("1m count = %d, want 1 (old shard must have aged out)", got)
+	}
+	if got := w.Stats(5 * time.Minute).Count; got != 2 {
+		t.Fatalf("5m count = %d, want 2", got)
+	}
+
+	clk.Advance(6 * time.Minute) // beyond 5m: everything aged out
+	if got := w.Stats(5 * time.Minute).Count; got != 0 {
+		t.Fatalf("5m count after 6m idle = %d, want 0", got)
+	}
+}
+
+func TestWindowShardRecycling(t *testing.T) {
+	clk := newManualClock()
+	// A tiny ring: 4 shards of 10 s wrap every 40 s, so advancing a full
+	// lap must land on a recycled (zeroed) shard, not resurrect old data.
+	w := newWindow(10*time.Second, 4, clk.Now)
+	w.Observe(1)
+	clk.Advance(40 * time.Second)
+	w.Observe(2)
+	if got := w.Stats(10 * time.Second).Count; got != 1 {
+		t.Fatalf("current-shard count = %d, want 1 (lap must recycle)", got)
+	}
+}
+
+func TestWindowCounter(t *testing.T) {
+	clk := newManualClock()
+	w := newWindowCounter(10*time.Second, 32, clk.Now)
+	w.Add(3)
+	clk.Advance(30 * time.Second)
+	w.Inc()
+	if got := w.Stats(time.Minute).Count; got != 4 {
+		t.Fatalf("1m count = %d, want 4", got)
+	}
+	clk.Advance(50 * time.Second)
+	if got := w.Stats(time.Minute).Count; got != 1 {
+		t.Fatalf("1m count = %d, want 1 after first shard aged out", got)
+	}
+	if got := w.Stats(5 * time.Minute).Count; got != 4 {
+		t.Fatalf("5m count = %d, want 4", got)
+	}
+}
+
+func TestWindowConcurrentObserve(t *testing.T) {
+	w := newWindow(10*time.Second, 32, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.Stats(time.Minute).Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestRegistryWindowsInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Window("svc.latency").Observe(0.005)
+	r.WindowCounter("svc.errors").Add(2)
+	rep := r.Snapshot()
+	wd, ok := rep.Windows["svc.latency"]
+	if !ok {
+		t.Fatal("snapshot missing windowed histogram")
+	}
+	if wd.M1.Count != 1 || wd.M5.Count != 1 {
+		t.Fatalf("windowed histogram counts = %+v, want 1/1", wd)
+	}
+	if wd.M1.RatePerSec <= 0 {
+		t.Fatalf("windowed rate = %g, want > 0", wd.M1.RatePerSec)
+	}
+	ec, ok := rep.Windows["svc.errors"]
+	if !ok || ec.M1.Count != 2 {
+		t.Fatalf("windowed counter = %+v (ok=%v), want count 2", ec, ok)
+	}
+
+	r.Reset()
+	rep = r.Snapshot()
+	if wd := rep.Windows["svc.latency"]; wd.M1.Count != 0 {
+		t.Fatalf("after Reset, windowed count = %d, want 0", wd.M1.Count)
+	}
+}
+
+func TestObserveWindowedFeedsBoth(t *testing.T) {
+	Reset()
+	defer Reset()
+	ObserveWindowed("test.windowed.seconds", 0.003)
+	AddWindowed("test.windowed.errors", 1)
+	rep := Snapshot()
+	if rep.Histograms["test.windowed.seconds"].Count != 1 {
+		t.Fatal("cumulative histogram missed the observation")
+	}
+	if rep.Windows["test.windowed.seconds"].M1.Count != 1 {
+		t.Fatal("window missed the observation")
+	}
+	if rep.Counters["test.windowed.errors"] != 1 || rep.Windows["test.windowed.errors"].M1.Count != 1 {
+		t.Fatal("AddWindowed must feed both the counter and the window")
+	}
+}

@@ -78,10 +78,13 @@ type ScoreResult struct {
 	Error          string            `json:"error,omitempty"`
 }
 
-// ScoreResponse is the body of a successful POST /v1/score.
+// ScoreResponse is the body of a successful POST /v1/score. TraceID is
+// the request's W3C trace id (accepted from the caller's traceparent or
+// minted by the server) — the key into /tracez and the access log.
 type ScoreResponse struct {
 	ModelVersion int64    `json:"model_version"`
 	Languages    []string `json:"languages"`
+	TraceID      string   `json:"trace_id,omitempty"`
 	ScoreResult
 }
 
@@ -91,6 +94,7 @@ type ScoreResponse struct {
 type BatchResponse struct {
 	ModelVersion int64         `json:"model_version"`
 	Languages    []string      `json:"languages"`
+	TraceID      string        `json:"trace_id,omitempty"`
 	Results      []ScoreResult `json:"results"`
 }
 
@@ -184,8 +188,13 @@ func latticeFromSlots(slots [][]Slot, numPhones int) (*lattice.Lattice, error) {
 	return lattice.ParseSausage(ls, numPhones)
 }
 
-// Degradation counter (obs run reports and /metricsz).
-var obsDegraded = obs.GetCounter("serve.score.degraded")
+// Degradation counters: cumulative (obs run reports and /metricsz) and
+// rolling-window (the RED "errors" of the serving path — degradation is
+// the failure mode scoring absorbs instead of surfacing as a 5xx).
+var (
+	obsDegraded  = obs.GetCounter("serve.score.degraded")
+	wobsDegraded = obs.GetWindowCounter("serve.score.degraded")
+)
 
 // assembleResult turns one job's per-front-end score rows into the wire
 // result: named scores, the fused row (when the bundle has a backend and

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
@@ -34,6 +35,18 @@ type job struct {
 	vectors  map[int]*sparse.Vector
 	result   chan jobResult
 	enqueued time.Time
+
+	// Request-scoped trace state (nil/zero when tracing is disabled).
+	// span is the request's span node; queueSpan covers enqueue→dequeue,
+	// batchSpan dequeue→dispatch; per-front-end scoring spans hang off
+	// span inside scoreJobs. batchID is the dispatch batch the job rode
+	// in, written by the dispatcher; atomic because a handler whose
+	// deadline fired reads it while the dispatcher may still be assigning
+	// the job to a batch.
+	span      *obs.Span
+	queueSpan *obs.Span
+	batchSpan *obs.Span
+	batchID   atomic.Int64
 }
 
 type jobResult struct {
@@ -67,6 +80,10 @@ type Batcher struct {
 	workers  int
 	process  func([]*job)
 	clock    Clock
+	// windowed feeds the rolling 1m/5m views next to the cumulative
+	// metrics; the server turns it off only for the tracing-overhead
+	// benchmark baseline.
+	windowed bool
 
 	queue   chan *job
 	drainCh chan struct{}
@@ -76,15 +93,24 @@ type Batcher struct {
 	closed bool
 }
 
-// Queue-depth gauge and backpressure counters (obs run reports).
+// Queue-depth gauge and backpressure counters (obs run reports), plus
+// the rolling-window views /metricsz reports as 1m/5m live metrics.
 var (
 	obsQueueDepth = obs.GetGauge("serve.queue.depth")
 	obsQueueWait  = obs.GetHistogram("serve.queue.wait_seconds")
 	obsBatches    = obs.GetCounter("serve.batches")
 	obsBatchJobs  = obs.GetCounter("serve.batched_jobs")
+	obsBatchSize  = obs.GetHistogram("serve.batch.size")
 	obsRejected   = obs.GetCounter("serve.queue.rejected")
 	obsPanics     = obs.GetCounter("serve.score.panics")
 	obsExpired    = obs.GetCounter("serve.jobs.expired")
+
+	wobsQueueWait = obs.GetWindow("serve.queue.wait_seconds")
+	wobsBatchSize = obs.GetWindow("serve.batch.size")
+
+	// batchSeq numbers dispatch batches process-wide so traces and
+	// access-log lines can say which jobs shared a scoring pass.
+	batchSeq atomic.Int64
 )
 
 // newBatcher starts a dispatcher. process scores one batch; nil selects
@@ -109,6 +135,7 @@ func newBatcher(maxBatch, queueDepth, workers int, maxWait time.Duration, proces
 		maxWait:  maxWait,
 		workers:  workers,
 		clock:    clock,
+		windowed: true,
 		queue:    make(chan *job, queueDepth),
 		drainCh:  make(chan struct{}),
 		done:     make(chan struct{}),
@@ -157,6 +184,25 @@ func (b *Batcher) Drain(ctx context.Context) error {
 	}
 }
 
+// noteDequeue marks the moment a job leaves the admission queue: the
+// queue-wait histogram/window observe here (not at dispatch, so the
+// numbers isolate queueing from batch formation), the job's queue.wait
+// span closes, and its batch.form span opens.
+func (b *Batcher) noteDequeue(j *job) {
+	wait := time.Since(j.enqueued).Seconds()
+	obsQueueWait.Observe(wait)
+	if b.windowed {
+		wobsQueueWait.Observe(wait)
+	}
+	if j.queueSpan != nil {
+		j.queueSpan.End()
+		j.queueSpan = nil
+		if j.span != nil {
+			j.batchSpan = j.span.StartChild("batch.form")
+		}
+	}
+}
+
 // run is the dispatcher loop.
 func (b *Batcher) run() {
 	defer close(b.done)
@@ -175,12 +221,14 @@ func (b *Batcher) run() {
 				b.runBatch(batch)
 			}
 		}
+		b.noteDequeue(first)
 		batch := []*job{first}
 		timeout := b.clock.After(b.maxWait)
 	collect:
 		for len(batch) < b.maxBatch {
 			select {
 			case j := <-b.queue:
+				b.noteDequeue(j)
 				batch = append(batch, j)
 			case <-timeout:
 				break collect
@@ -199,6 +247,7 @@ func (b *Batcher) collectQueued() []*job {
 	for len(batch) < b.maxBatch {
 		select {
 		case j := <-b.queue:
+			b.noteDequeue(j)
 			batch = append(batch, j)
 		default:
 			return batch
@@ -218,9 +267,21 @@ func (b *Batcher) runBatch(batch []*job) {
 	obsBatches.Inc()
 	obsBatchJobs.Add(int64(len(batch)))
 	obs.SetGauge("serve.batch.last_size", float64(len(batch)))
-	now := time.Now()
+	obsBatchSize.Observe(float64(len(batch)))
+	if b.windowed {
+		wobsBatchSize.Observe(float64(len(batch)))
+	}
+	id := batchSeq.Add(1)
 	for _, j := range batch {
-		obsQueueWait.Observe(now.Sub(j.enqueued).Seconds())
+		j.batchID.Store(id)
+		if j.batchSpan != nil {
+			j.batchSpan.End()
+			j.batchSpan = nil
+		}
+		if j.span != nil {
+			j.span.SetAttr("batch.id", float64(id))
+			j.span.SetAttr("batch.size", float64(len(batch)))
+		}
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -256,6 +317,9 @@ func scoreJobs(batch []*job, workers int) {
 		if err := j.ctx.Err(); err != nil {
 			// Expired while queued: don't waste the pool on it.
 			obsExpired.Inc()
+			if j.span != nil {
+				j.span.SetLabel("error", "expired in queue: "+err.Error())
+			}
 			j.trySend(jobResult{err: err})
 			continue
 		}
@@ -274,6 +338,13 @@ func scoreJobs(batch []*job, workers int) {
 	}
 	outs := make([]taskOut, len(tasks))
 	parallel.ForPoolWorkers("serve-score", len(tasks), workers, func(i int) {
+		t := tasks[i]
+		fe := &t.j.model.Bundle.FrontEnds[t.fe]
+		var sp *obs.Span
+		if t.j.span != nil {
+			sp = t.j.span.StartChild("score.fe")
+			sp.SetLabel("fe", fe.Name)
+		}
 		// A panicking task poisons only its own front-end within its own
 		// job, not the batch or the process (parallel.ForWorkers would
 		// re-panic on the pool goroutine).
@@ -282,9 +353,13 @@ func scoreJobs(batch []*job, workers int) {
 				obsPanics.Inc()
 				outs[i].err = fmt.Errorf("serve: scoring panicked: %v", r)
 			}
+			if sp != nil {
+				if outs[i].err != nil {
+					sp.SetLabel("error", outs[i].err.Error())
+				}
+				sp.End()
+			}
 		}()
-		t := tasks[i]
-		fe := &t.j.model.Bundle.FrontEnds[t.fe]
 		if err := faultinject.At("serve.score.fe." + fe.Name); err != nil {
 			outs[i].err = err
 			return

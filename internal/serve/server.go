@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -41,6 +43,18 @@ type Config struct {
 	// Reload governs reload retry/backoff and the circuit breaker.
 	Reload ReloadPolicy
 
+	// AccessLog receives sampled JSON access-log lines, one object per
+	// line (nil: access logging off).
+	AccessLog io.Writer
+	// AccessLogEvery samples every Nth request onto AccessLog (1 = all).
+	// Degraded and errored requests are always logged regardless.
+	AccessLogEvery int
+	// DisableTracing turns off per-request trace spans, the /tracez
+	// buffer, access logging, and the rolling-window metrics — the
+	// baseline configuration of the tracing-overhead benchmark
+	// (BENCH_obs.json). Production serving keeps tracing on.
+	DisableTracing bool
+
 	// clock substitutes the time source in tests (nil: real time).
 	clock Clock
 }
@@ -69,13 +83,15 @@ func (c *Config) setDefaults() {
 
 // Server is the scoring daemon: registry + batcher + HTTP handlers.
 type Server struct {
-	cfg      Config
-	reg      *Registry
-	reloader *reloader
-	batcher  *Batcher
-	mux      *http.ServeMux
-	draining atomic.Bool
-	inflight atomic.Int64
+	cfg       Config
+	reg       *Registry
+	reloader  *reloader
+	batcher   *Batcher
+	mux       *http.ServeMux
+	traces    *obs.TraceBuffer
+	accessLog *accessLogger
+	draining  atomic.Bool
+	inflight  atomic.Int64
 }
 
 // New loads the bundle and starts the batching dispatcher. The returned
@@ -92,12 +108,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reloader = newReloader(s.reg, cfg.Reload, cfg.clock)
 	s.batcher = newBatcher(cfg.MaxBatch, cfg.QueueDepth, cfg.Workers, cfg.BatchWait, nil, cfg.clock)
+	s.batcher.windowed = !cfg.DisableTracing
+	s.traces = obs.NewTraceBuffer(0, 0, 0) // default bounds (see obs.NewTraceBuffer)
+	if !cfg.DisableTracing {
+		s.accessLog = newAccessLogger(cfg.AccessLog, cfg.AccessLogEvery)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/score", s.instrument("score", s.handleScore))
 	s.mux.HandleFunc("/v1/score/batch", s.instrument("batch", s.handleScoreBatch))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("/tracez", s.handleTracez)
 	s.mux.HandleFunc("/-/reload", s.instrument("reload", s.handleReload))
 	return s, nil
 }
@@ -113,21 +135,170 @@ func (s *Server) Reload() (*Model, error) { return s.reloader.Reload() }
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// statusWriter records the response status so instrumentation, the
+// trace buffer, and the access log can see the request's outcome.
+// instrument wraps every scoring/reload handler in one, so those
+// handlers may assume their ResponseWriter is a *statusWriter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func statusOf(w http.ResponseWriter) int {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw.status
+	}
+	return http.StatusOK
+}
+
 // instrument wraps a handler with per-endpoint request counts, latency
-// histograms, and the shared in-flight gauge.
+// histograms (cumulative + rolling windows), server-error counters, and
+// the shared in-flight gauge.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	reqs := obs.GetCounter("serve.http." + name + ".requests")
 	lat := obs.GetHistogram("serve.http." + name + ".seconds")
+	wlat := obs.GetWindow("serve.http." + name + ".seconds")
+	errs := obs.GetCounter("serve.http.errors")
+	werrs := obs.GetWindowCounter("serve.http.errors")
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
 		obs.SetGauge("serve.http.inflight", float64(s.inflight.Add(1)))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
 		defer func() {
-			lat.Observe(time.Since(t0).Seconds())
+			d := time.Since(t0).Seconds()
+			lat.Observe(d)
+			if !s.cfg.DisableTracing {
+				wlat.Observe(d)
+			}
+			if sw.status >= 500 {
+				errs.Inc()
+				if !s.cfg.DisableTracing {
+					werrs.Inc()
+				}
+			}
 			obs.SetGauge("serve.http.inflight", float64(s.inflight.Add(-1)))
 		}()
-		h(w, r)
+		h(sw, r)
 	}
+}
+
+// reqTrace is the per-request tracing context of a scoring handler:
+// W3C identifiers plus the detached root span the batcher hangs its
+// stage spans off. Fields past root are written only by the handler
+// goroutine.
+type reqTrace struct {
+	id        string // 32-hex trace id (accepted or minted)
+	parent    string // caller's span id when the request carried a traceparent
+	spanID    string // this server's root span id
+	start     time.Time
+	root      *obs.Span
+	batchID   int64
+	modelVer  int64
+	degraded  bool
+	surviving []string
+	errMsg    string
+}
+
+// startTrace accepts the request's traceparent (or mints a fresh trace),
+// opens the root span, and stamps the response header so the client
+// learns the id even on error paths. Returns nil when tracing is off.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request, endpoint string) *reqTrace {
+	if s.cfg.DisableTracing {
+		return nil
+	}
+	id, parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		id, parent = obs.NewTraceID(), ""
+	}
+	tr := &reqTrace{
+		id:     id,
+		parent: parent,
+		spanID: obs.NewSpanID(),
+		start:  time.Now(),
+		root:   obs.NewSpan("serve." + endpoint),
+	}
+	tr.root.SetLabel("trace_id", id)
+	w.Header().Set("traceparent", obs.Traceparent(id, tr.spanID))
+	return tr
+}
+
+// finishTrace ends the root span, files the finished trace into the
+// /tracez buffer, and emits the (sampled) access-log line.
+func (s *Server) finishTrace(tr *reqTrace, endpoint string, status int) {
+	if tr == nil {
+		return
+	}
+	dur := tr.root.End()
+	e := &obs.TraceEntry{
+		TraceID:      tr.id,
+		SpanID:       tr.spanID,
+		ParentSpanID: tr.parent,
+		Endpoint:     endpoint,
+		Start:        tr.start,
+		DurationSec:  dur.Seconds(),
+		Status:       status,
+		ModelVersion: tr.modelVer,
+		BatchID:      tr.batchID,
+		Degraded:     tr.degraded,
+		Surviving:    tr.surviving,
+		Error:        tr.errMsg,
+		Root:         tr.root.Data(),
+	}
+	s.traces.Add(e)
+	if s.accessLog != nil {
+		s.accessLog.log(recordFromTrace(e), e.Degraded || e.Error != "" || status >= 500)
+	}
+}
+
+// noteResult folds one job result into the trace: degradation state,
+// survivors, and the dispatch batch the job rode in.
+func (tr *reqTrace) noteResult(j *job, res *ScoreResult) {
+	if tr == nil {
+		return
+	}
+	if j != nil {
+		if id := j.batchID.Load(); id > tr.batchID {
+			tr.batchID = id
+		}
+	}
+	if res == nil {
+		return
+	}
+	if res.Degraded {
+		tr.degraded = true
+		tr.surviving = mergeSurvivors(tr.surviving, res.Surviving)
+		wobsDegraded.Inc()
+	}
+	if res.Error != "" {
+		tr.errMsg = res.Error
+	}
+}
+
+// mergeSurvivors unions sorted survivor sets (batch requests may degrade
+// several utterances differently).
+func mergeSurvivors(a, b []string) []string {
+	if len(a) == 0 {
+		return append([]string(nil), b...)
+	}
+	seen := make(map[string]bool, len(a)+len(b))
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		seen[x] = true
+	}
+	out := make([]string, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -177,9 +348,18 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 }
 
 // submit admits one resolved utterance into the batcher and translates
-// backpressure into HTTP semantics.
-func (s *Server) submit(ctx context.Context, m *Model, id string, req *ScoreRequest) (*job, int, error) {
+// backpressure into HTTP semantics. span, when non-nil, becomes the
+// job's trace node: resolution and queue wait record as children, and
+// the batcher attaches batch-formation and per-front-end scoring spans.
+func (s *Server) submit(ctx context.Context, m *Model, id string, req *ScoreRequest, span *obs.Span) (*job, int, error) {
+	var rsp *obs.Span
+	if span != nil {
+		rsp = span.StartChild("resolve")
+	}
 	vectors, err := buildVectors(m, req)
+	if rsp != nil {
+		rsp.End()
+	}
 	if err != nil {
 		var re *requestError
 		if errors.As(err, &re) {
@@ -194,14 +374,24 @@ func (s *Server) submit(ctx context.Context, m *Model, id string, req *ScoreRequ
 		vectors:  vectors,
 		result:   make(chan jobResult, 1),
 		enqueued: time.Now(),
+		span:     span,
 	}
-	switch err := s.batcher.Submit(j); {
-	case errors.Is(err, ErrQueueFull):
-		return nil, http.StatusTooManyRequests, err
-	case errors.Is(err, ErrDraining):
-		return nil, http.StatusServiceUnavailable, err
-	case err != nil:
-		return nil, http.StatusInternalServerError, err
+	if span != nil {
+		j.queueSpan = span.StartChild("queue.wait")
+	}
+	if err := s.batcher.Submit(j); err != nil {
+		if j.queueSpan != nil {
+			j.queueSpan.SetLabel("error", err.Error())
+			j.queueSpan.End()
+		}
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			return nil, http.StatusTooManyRequests, err
+		case errors.Is(err, ErrDraining):
+			return nil, http.StatusServiceUnavailable, err
+		default:
+			return nil, http.StatusInternalServerError, err
+		}
 	}
 	return j, 0, nil
 }
@@ -221,14 +411,32 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if m == nil {
 		return
 	}
+	tr := s.startTrace(w, r, "score")
+	defer func() { s.finishTrace(tr, "score", statusOf(w)) }()
+	var jobSpan *obs.Span
+	if tr != nil {
+		tr.modelVer = m.Version
+		jobSpan = tr.root
+	}
 	var req ScoreRequest
-	if !s.decodeBody(w, r, &req) {
+	var dsp *obs.Span
+	if tr != nil {
+		dsp = tr.root.StartChild("decode")
+	}
+	ok := s.decodeBody(w, r, &req)
+	if dsp != nil {
+		dsp.End()
+	}
+	if !ok {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	j, status, err := s.submit(ctx, m, req.ID, &req)
+	j, status, err := s.submit(ctx, m, req.ID, &req, jobSpan)
 	if err != nil {
+		if tr != nil {
+			tr.errMsg = err.Error()
+		}
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 		}
@@ -236,11 +444,18 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := await(ctx, j)
+	tr.noteResult(j, nil)
 	if err != nil {
+		if tr != nil {
+			tr.errMsg = err.Error()
+		}
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
 		return
 	}
 	if res.err != nil {
+		if tr != nil {
+			tr.errMsg = res.err.Error()
+		}
 		status := http.StatusInternalServerError
 		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
 			status = http.StatusGatewayTimeout
@@ -248,17 +463,35 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", res.err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ScoreResponse{
+	var fsp *obs.Span
+	if tr != nil {
+		fsp = tr.root.StartChild("fuse")
+	}
+	result := assembleResult(m, req.ID, res.scores, res.feErrs)
+	if fsp != nil {
+		fsp.End()
+	}
+	tr.noteResult(j, &result)
+	resp := ScoreResponse{
 		ModelVersion: m.Version,
 		Languages:    m.Bundle.Languages,
-		ScoreResult:  assembleResult(m, req.ID, res.scores, res.feErrs),
-	})
+		ScoreResult:  result,
+	}
+	if tr != nil {
+		resp.TraceID = tr.id
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	m := s.admit(w, r)
 	if m == nil {
 		return
+	}
+	tr := s.startTrace(w, r, "batch")
+	defer func() { s.finishTrace(tr, "batch", statusOf(w)) }()
+	if tr != nil {
+		tr.modelVer = m.Version
 	}
 	var req BatchRequest
 	if !s.decodeBody(w, r, &req) {
@@ -272,13 +505,25 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	// Admit every utterance first (they coalesce into shared scoring
 	// passes), then gather; per-utterance faults degrade that item only.
+	// Each utterance gets its own "utt" child span, so a batch trace shows
+	// the fan-out: queue wait and per-front-end scoring per utterance.
 	jobs := make([]*job, len(req.Utterances))
 	results := make([]ScoreResult, len(req.Utterances))
 	for i := range req.Utterances {
 		u := &req.Utterances[i]
-		j, _, err := s.submit(ctx, m, u.ID, u)
+		var uttSpan *obs.Span
+		if tr != nil {
+			uttSpan = tr.root.StartChild("utt")
+			uttSpan.SetLabel("id", u.ID)
+		}
+		j, _, err := s.submit(ctx, m, u.ID, u, uttSpan)
 		if err != nil {
+			if uttSpan != nil {
+				uttSpan.SetLabel("error", err.Error())
+				uttSpan.End()
+			}
 			results[i] = ScoreResult{ID: u.ID, Error: err.Error()}
+			tr.noteResult(nil, &results[i])
 			continue
 		}
 		jobs[i] = j
@@ -288,20 +533,36 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		res, err := await(ctx, j)
+		tr.noteResult(j, nil)
 		switch {
 		case err != nil:
 			results[i] = ScoreResult{ID: j.id, Error: err.Error()}
 		case res.err != nil:
 			results[i] = ScoreResult{ID: j.id, Error: res.err.Error()}
 		default:
+			var fsp *obs.Span
+			if j.span != nil {
+				fsp = j.span.StartChild("fuse")
+			}
 			results[i] = assembleResult(m, j.id, res.scores, res.feErrs)
+			if fsp != nil {
+				fsp.End()
+			}
+		}
+		tr.noteResult(j, &results[i])
+		if j.span != nil {
+			j.span.End()
 		}
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{
+	resp := BatchResponse{
 		ModelVersion: m.Version,
 		Languages:    m.Bundle.Languages,
 		Results:      results,
-	})
+	}
+	if tr != nil {
+		resp.TraceID = tr.id
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -328,15 +589,35 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetricsz serves the process metrics in two formats, negotiated
+// by the ?format query parameter (JSON by default, Prometheus text
+// exposition for ?format=prom / ?format=prometheus). The JSON view is
+// the metrics-only report — counters, gauges, histograms, and the
+// 1m/5m rolling windows — without the per-run span dump (that lives at
+// /tracez).
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	rep := obs.Snapshot()
+	rep := obs.Snapshot().MetricsOnly()
 	rep.Meta = map[string]string{"service": "lred"}
 	if m := s.reg.Current(); m != nil {
 		rep.Meta["model_version"] = fmt.Sprintf("%d", m.Version)
 		rep.Meta["front_ends"] = strings.Join(m.Manifest.FrontEnds, ",")
 	}
-	w.Header().Set("Content-Type", "application/json")
-	rep.WriteJSON(w)
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rep.WritePrometheus(w)
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		rep.WriteJSON(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or prom)", r.URL.Query().Get("format"))
+	}
+}
+
+// handleTracez dumps the bounded trace buffer: recent requests, the
+// slowest retained, and the degraded/errored exemplars (always kept).
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.traces.Snapshot())
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
