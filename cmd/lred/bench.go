@@ -36,6 +36,7 @@ type benchConfig struct {
 	clients  int
 	maxBatch int
 	repeats  int
+	workers  int // fleet benchmark worker count
 	out      string
 }
 
@@ -60,6 +61,10 @@ type benchPhase struct {
 	ScoreUsPerReq    float64 `json:"score_us_per_request"`
 	ScoreChecked     int     `json:"scores_checked"`
 	Mismatches       int     `json:"score_mismatches"`
+
+	// Fleet-phase extras (see benchfleet.go); carried out of the phase
+	// runner without entering the per-phase JSON.
+	rpcP50Ms, rpcP99Ms float64
 }
 
 // benchSummary aggregates one configuration's interleaved repeats: total

@@ -1,0 +1,333 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// The fleet load benchmark behind BENCH_serve.json's "fleet" section:
+// the same request mix driven against a standalone daemon and against a
+// 1-coordinator × N-worker topology, everything in one process over
+// loopback TCP. Every fleet response is checked bit-identical against
+// the batch pipeline's baseline scores — the same oracle the standalone
+// phase uses, so fleet ≡ standalone at equal correctness — and any
+// degraded response fails the run (a healthy fleet must never degrade).
+//
+// What the comparison shows is the scatter–gather tax: with all tiers
+// sharing one machine there is no hardware to win back, so fleet
+// throughput ≤ standalone and the gap prices the per-request fan-out
+// (sub-request marshaling, N loopback RPCs, gather + fusion). On real
+// hardware the same topology splits the front-end battery across
+// machines; the tax stays, the scoring capacity multiplies.
+
+type fleetReport struct {
+	Scale      string `json:"scale"`
+	Seed       uint64 `json:"seed"`
+	Clients    int    `json:"clients"`
+	Repeats    int    `json:"repeats"`
+	Workers    int    `json:"workers"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go"`
+
+	Standalone benchSummary `json:"standalone"`
+	Fleet      benchSummary `json:"fleet"`
+
+	// ThroughputRatio is fleet/standalone aggregate throughput on this
+	// single machine (< 1: the scatter–gather tax; see the file comment).
+	ThroughputRatio float64 `json:"fleet_throughput_ratio"`
+	// RPCP50Ms/P99Ms price one coordinator→shard hop, from the
+	// coordinator's cluster.rpc.<addr>.seconds histograms (worst peer).
+	RPCP50Ms float64 `json:"shard_rpc_p50_ms"`
+	RPCP99Ms float64 `json:"shard_rpc_p99_ms"`
+}
+
+func runBenchFleet(cfg benchConfig) error {
+	scale, err := experiments.ParseScale(cfg.scale)
+	if err != nil {
+		return err
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 2
+	}
+	log.Printf("bench-fleet: building pipeline (scale=%s seed=%d)…", scale, cfg.seed)
+	p := experiments.BuildPipeline(scale, cfg.seed)
+	dir, err := os.MkdirTemp("", "lred-bench-fleet")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := p.ExportModels(dir, ""); err != nil {
+		return err
+	}
+	bodies, expected, feNames := benchRequestsFrom(p)
+	log.Printf("bench-fleet: %d distinct utterances, %d requests × %d clients per phase, %d workers",
+		len(bodies), cfg.requests, cfg.clients, cfg.workers)
+
+	if cfg.repeats < 1 {
+		cfg.repeats = 1
+	}
+	runs := make([][]benchPhase, 2)
+	for r := 0; r < cfg.repeats; r++ {
+		order := []int{0, 1}
+		if r%2 == 1 {
+			order = []int{1, 0}
+		}
+		for _, ci := range order {
+			var phase *benchPhase
+			var err error
+			if ci == 0 {
+				phase, err = runBenchPhase(dir, "standalone", cfg.maxBatch, false, cfg, bodies, expected, feNames)
+			} else {
+				phase, err = runFleetPhase(dir, cfg, bodies, expected, feNames)
+			}
+			if err != nil {
+				return fmt.Errorf("bench-fleet phase %d: %w", ci, err)
+			}
+			log.Printf("bench-fleet: [%d/%d] %-10s %8.1f req/s  p50=%.3gms p99=%.3gms  (%d scores checked, %d mismatches)",
+				r+1, cfg.repeats, phase.Name, phase.Throughput, phase.P50Ms, phase.P99Ms, phase.ScoreChecked, phase.Mismatches)
+			if phase.Mismatches > 0 {
+				return fmt.Errorf("bench-fleet phase %s: %d score mismatches — fleet is not bit-identical", phase.Name, phase.Mismatches)
+			}
+			runs[ci] = append(runs[ci], *phase)
+		}
+	}
+
+	rep := fleetReport{
+		Scale:      scale.String(),
+		Seed:       cfg.seed,
+		Clients:    cfg.clients,
+		Repeats:    cfg.repeats,
+		Workers:    cfg.workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Standalone: summarize(runs[0]),
+		Fleet:      summarize(runs[1]),
+	}
+	if rep.Standalone.Throughput > 0 {
+		rep.ThroughputRatio = rep.Fleet.Throughput / rep.Standalone.Throughput
+	}
+	// Shard-RPC quantiles from the last fleet run's metrics (stored on the
+	// phase by runFleetPhase).
+	last := runs[1][len(runs[1])-1]
+	rep.RPCP50Ms, rep.RPCP99Ms = last.rpcP50Ms, last.rpcP99Ms
+
+	if err := mergeBenchFleet(cfg.out, &rep); err != nil {
+		return err
+	}
+	log.Printf("bench-fleet: fleet runs at %.2fx standalone throughput on one machine (shard RPC p50=%.3gms p99=%.3gms); wrote %s",
+		rep.ThroughputRatio, rep.RPCP50Ms, rep.RPCP99Ms, cfg.out)
+	return nil
+}
+
+// runFleetPhase boots cfg.workers shard workers plus one coordinator
+// over loopback TCP, distributes the bundle, and drives the same
+// request mix through the coordinator's /v1/score.
+func runFleetPhase(modelDir string, cfg benchConfig, bodies [][]byte, expected [][][]float64, feNames []string) (ph *benchPhase, err error) {
+	obs.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	var drains []chan error
+	defer func() {
+		cancel()
+		for _, ch := range drains {
+			if derr := <-ch; derr != nil && err == nil {
+				err = fmt.Errorf("drain: %w", derr)
+			}
+		}
+	}()
+
+	var peers []string
+	for i := 0; i < cfg.workers; i++ {
+		spool, err := os.MkdirTemp("", "lred-fleet-shard")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(spool)
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			Spool: spool,
+			// Generous deadlines throughout: the bench prices the fan-out,
+			// it must never exercise failure handling, and with every tier
+			// sharing one loaded machine the tail is the scheduler's.
+			Serve: serve.Config{MaxBatch: cfg.maxBatch, QueueDepth: 4096, RequestTimeout: 60 * time.Second},
+		})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		ch := make(chan error, 1)
+		drains = append(drains, ch)
+		go func() { ch <- w.Run(ctx, ln) }()
+		peers = append(peers, ln.Addr().String())
+	}
+
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		ModelDir:       modelDir,
+		Peers:          peers,
+		ShardTimeout:   60 * time.Second, // see the worker config note above
+		RequestTimeout: 120 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := coord.Distribute(ctx); err != nil {
+		return nil, err
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan error, 1)
+	drains = append(drains, ch)
+	go func() { ch <- coord.Run(ctx, cln) }()
+
+	base := "http://" + cln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.clients * 2,
+		MaxIdleConnsPerHost: cfg.clients * 2,
+	}}
+
+	var next, checked, mismatches, degraded atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.requests {
+					return
+				}
+				j := i % len(bodies)
+				resp, err := client.Post(base+"/v1/score", "application/json", bytes.NewReader(bodies[j]))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("status %d: %s", resp.StatusCode, data))
+					return
+				}
+				var sr serve.ScoreResponse
+				if err := json.Unmarshal(data, &sr); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if sr.Degraded {
+					degraded.Add(1)
+				}
+				for q, fe := range feNames {
+					got, want := sr.Scores[fe], expected[j][q]
+					if len(got) != len(want) {
+						mismatches.Add(1)
+						continue
+					}
+					for k := range want {
+						checked.Add(1)
+						if got[k] != want[k] {
+							mismatches.Add(1)
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	if n := degraded.Load(); n > 0 {
+		return nil, fmt.Errorf("%d responses degraded on a healthy fleet", n)
+	}
+
+	metrics, err := fetchMetrics(client, base)
+	if err != nil {
+		return nil, err
+	}
+	ph = &benchPhase{
+		Name:        "fleet",
+		MaxBatch:    cfg.maxBatch,
+		Requests:    cfg.requests,
+		WallSeconds: wall.Seconds(),
+		Throughput:  float64(cfg.requests) / wall.Seconds(),
+		// The workers run in-process, so their serve.* metrics share the
+		// registry and the batching/scoring columns stay meaningful.
+		Batches:          metrics.Counters["serve.batches"],
+		Rejected:         metrics.Counters["serve.queue.rejected"],
+		ScoreBusySeconds: float64(metrics.Counters["pool.serve-score.busy_ns"]) / 1e9,
+		ScoreChecked:     int(checked.Load()),
+		Mismatches:       int(mismatches.Load()),
+	}
+	ph.ScoreUsPerReq = ph.ScoreBusySeconds / float64(cfg.requests) * 1e6
+	if h, ok := metrics.Histograms["cluster.http.score.seconds"]; ok {
+		ph.P50Ms = h.P50Sec * 1e3
+		ph.P99Ms = h.P99Sec * 1e3
+	}
+	if ph.Batches > 0 {
+		ph.MeanBatch = float64(metrics.Counters["serve.batched_jobs"]) / float64(ph.Batches)
+	}
+	// Worst-peer shard-RPC quantiles price the extra hop.
+	for name, h := range metrics.Histograms {
+		if len(name) > 12 && name[:12] == "cluster.rpc." {
+			if ms := h.P50Sec * 1e3; ms > ph.rpcP50Ms {
+				ph.rpcP50Ms = ms
+			}
+			if ms := h.P99Sec * 1e3; ms > ph.rpcP99Ms {
+				ph.rpcP99Ms = ms
+			}
+		}
+	}
+	return ph, nil
+}
+
+// mergeBenchFleet writes rep under the "fleet" key of out, preserving
+// any other top-level keys (the micro-batching report lives at the top
+// level of BENCH_serve.json; see mergeBenchObs for the idiom).
+func mergeBenchFleet(out string, rep *fleetReport) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	doc["fleet"] = enc
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	e := json.NewEncoder(f)
+	e.SetIndent("", "  ")
+	if err := e.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -53,15 +53,37 @@
 //
 //	lred -models ./models -chaos 'seed=7; serve.score.fe.HU:error:p=0.2'
 //
+// Cluster roles (-role, default standalone): the same binary runs the
+// distributed scatter–gather topology from internal/cluster.
+//
+//	lred -models ./models -addr :8080                        # standalone (default)
+//	lred -role=worker -spool /tmp/shard0 -addr :9101         # shard worker
+//	lred -role=worker -spool /tmp/shard1 -addr :9102
+//	lred -role=coordinator -models ./models -addr :8080 \
+//	     -peers 127.0.0.1:9101,127.0.0.1:9102
+//
+// The coordinator owns the full bundle: it splits the front-end battery
+// round-robin across the workers, pushes each shard its sub-bundle
+// (generation-stamped, fusion stripped), and serves the standalone
+// scoring API by scattering per-front-end RPCs and fusing the gathered
+// rows — bit-identical to standalone when every shard answers, survivor
+// fusion (degraded:true) when one misses its -shard-timeout. Workers
+// start with an empty -spool and wait for the push. SIGHUP on the
+// coordinator reloads + redistributes (generation-consistent: the plan
+// only advances when every worker acked).
+//
 // Benchmark modes (write a report and exit):
 //
 //	lred -bench-out BENCH_serve.json -bench-scale small -bench-requests 2000
 //	lred -bench-obs BENCH_obs.json -bench-scale small -bench-requests 2000
+//	lred -bench-fleet BENCH_serve.json -bench-workers 2
 //
 // -bench-out measures micro-batching speedup; -bench-obs measures the
 // overhead of request tracing + rolling windows (merged under the
-// "serve_overhead" key, other keys in the file are preserved). Both check
-// every response bit-identical against the offline pipeline.
+// "serve_overhead" key, other keys in the file are preserved);
+// -bench-fleet measures standalone vs coordinator + N workers over
+// loopback (merged under the "fleet" key). All check every response
+// bit-identical against the offline pipeline.
 package main
 
 import (
@@ -73,9 +95,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/serve"
 )
@@ -103,8 +127,16 @@ func main() {
 		accessLogEvery = flag.Int("access-log-every", 1, "log every Nth request (degraded/errored always log)")
 		noTrace        = flag.Bool("no-trace", false, "disable request tracing, /tracez, access logging, and rolling-window metrics")
 
+		role          = flag.String("role", "standalone", "process role: standalone, coordinator, or worker")
+		peers         = flag.String("peers", "", "coordinator: comma-separated worker addresses (host:port)")
+		spool         = flag.String("spool", "", "worker: local shard-bundle directory the coordinator distributes into")
+		shardTimeout  = flag.Duration("shard-timeout", time.Second, "coordinator: per-shard RPC deadline (a late shard degrades like a failed front-end)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "coordinator: worker health-probe and re-push cadence")
+
 		benchOut      = flag.String("bench-out", "", "run the micro-batching load benchmark, write the report here, and exit")
 		benchObsOut   = flag.String("bench-obs", "", "run the tracing-overhead benchmark, merge the report into this file, and exit")
+		benchFleetOut = flag.String("bench-fleet", "", "run the fleet load benchmark (standalone vs coordinator+workers), merge the report into this file, and exit")
+		benchWorkers  = flag.Int("bench-workers", 2, "fleet benchmark worker count")
 		benchScale    = flag.String("bench-scale", "small", "benchmark corpus scale")
 		benchSeed     = flag.Uint64("bench-seed", 42, "benchmark pipeline seed")
 		benchRequests = flag.Int("bench-requests", 2000, "benchmark requests per phase run")
@@ -113,7 +145,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if *benchOut != "" || *benchObsOut != "" {
+	if *benchOut != "" || *benchObsOut != "" || *benchFleetOut != "" {
 		cfg := benchConfig{
 			scale:    *benchScale,
 			seed:     *benchSeed,
@@ -121,11 +153,15 @@ func main() {
 			clients:  *benchClients,
 			repeats:  *benchRepeats,
 			maxBatch: *maxBatch,
+			workers:  *benchWorkers,
 			out:      *benchOut,
 		}
 		run := runBench
 		if *benchObsOut != "" {
 			cfg.out, run = *benchObsOut, runBenchObs
+		}
+		if *benchFleetOut != "" {
+			cfg.out, run = *benchFleetOut, runBenchFleet
 		}
 		if err := run(cfg); err != nil {
 			log.Fatal(err)
@@ -133,7 +169,16 @@ func main() {
 		return
 	}
 
-	if *models == "" {
+	switch *role {
+	case "standalone", "coordinator", "worker":
+	default:
+		log.Fatalf("unknown -role %q (want standalone, coordinator, or worker)", *role)
+	}
+	if *role == "worker" {
+		if *spool == "" {
+			log.Fatal("worker role needs -spool (the coordinator distributes bundles into it)")
+		}
+	} else if *models == "" {
 		log.Fatal("no -models directory (export one with: lre -export-models <dir>)")
 	}
 	if *chaos != "" {
@@ -149,7 +194,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := serve.New(serve.Config{
+	serveCfg := serve.Config{
 		ModelDir:       *models,
 		MaxBatch:       *maxBatch,
 		BatchWait:      *batchWait,
@@ -166,27 +211,99 @@ func main() {
 			TripAfter:   *breakerTrip,
 			Cooldown:    *breakerCool,
 		},
-	})
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+
+	switch *role {
+	case "worker":
+		w, err := cluster.NewWorker(cluster.WorkerConfig{Spool: *spool, Serve: serveCfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m := w.Server().Registry().Current(); m != nil {
+			log.Printf("worker: resuming spooled shard bundle v%d (generation %d): %d front-ends",
+				m.Version, m.ClusterGeneration(), len(m.Bundle.FrontEnds))
+		} else {
+			log.Printf("worker: empty spool %s, waiting for coordinator push", *spool)
+		}
+		log.Printf("worker serving on http://%s", ln.Addr())
+		go func() {
+			for range hup {
+				if m, err := w.Server().Reload(); err != nil {
+					log.Printf("reload failed (previous shard still active): %v", err)
+				} else {
+					log.Printf("reloaded shard bundle: now v%d", m.Version)
+				}
+			}
+		}()
+		if err := w.Run(ctx, ln); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("drained cleanly")
+		return
+
+	case "coordinator":
+		if *peers == "" {
+			log.Fatal("coordinator role needs -peers (comma-separated worker addresses)")
+		}
+		c, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			ModelDir:       *models,
+			Peers:          splitPeers(*peers),
+			ShardTimeout:   *shardTimeout,
+			RequestTimeout: *timeout,
+			ProbeInterval:  *probeInterval,
+			Breaker:        cluster.BreakerPolicy{TripAfter: *breakerTrip, Cooldown: *breakerCool},
+			PushRetries:    *reloadRetries,
+			PushBackoff:    *reloadBackoff,
+			DrainTimeout:   *drainTimeout,
+			DisableTracing: *noTrace,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// First distribution: workers may still be booting, so a failure
+		// here is not fatal — the repair loop keeps retrying.
+		if err := c.Distribute(ctx); err != nil {
+			log.Printf("initial distribution incomplete (repair loop will retry): %v", err)
+		} else {
+			log.Printf("distributed generation %d to %d workers", c.Plan(), len(splitPeers(*peers)))
+		}
+		log.Printf("coordinator serving on http://%s (shard-timeout=%s)", ln.Addr(), *shardTimeout)
+		go func() {
+			for range hup {
+				if gen, err := c.Reload(context.Background()); err != nil {
+					log.Printf("%v", err)
+				} else {
+					log.Printf("reloaded + redistributed: now generation %d", gen)
+				}
+			}
+		}()
+		if err := c.Run(ctx, ln); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("drained cleanly")
+		return
+	}
+
+	s, err := serve.New(serveCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	m := s.Registry().Current()
 	log.Printf("loaded bundle v%d from %s: %d front-ends, %d languages, fusion=%v",
 		m.Version, *models, len(m.Bundle.FrontEnds), len(m.Bundle.Languages), m.Bundle.Fusion != nil)
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
 	log.Printf("serving on http://%s (max-batch=%d queue=%d)", ln.Addr(), *maxBatch, *queueDepth)
-
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
-	defer stop()
 
 	// SIGHUP hot-reloads the bundle through the retry/backoff + breaker
 	// policy; in-flight requests keep the model they were admitted with.
-	hup := make(chan os.Signal, 1)
-	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
 			if m, err := s.Reload(); err != nil {
@@ -201,6 +318,17 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("drained cleanly")
+}
+
+// splitPeers parses the -peers flag (comma-separated, blanks ignored).
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // openAccessLog resolves the -access-log flag: the standard streams by

@@ -28,14 +28,16 @@ func render(rep *obs.Report, target string) string {
 		fmtGauge(rep.Gauges, "serve.http.inflight"),
 		fmtGauge(rep.Gauges, "serve.draining"))
 
-	// RED per endpoint: every serve.http.<name>.seconds window is one row.
+	// RED per endpoint: every serve.http.<name>.seconds window is one
+	// row; a coordinator's cluster.http.<name>.seconds windows render as
+	// "c/<name>" rows (both tiers appear when the processes co-reside).
 	fmt.Fprintf(&b, "%-10s %9s %9s %9s %9s %9s │ %9s %9s\n",
 		"endpoint", "req/s 1m", "p50 1m", "p95 1m", "p99 1m", "mean 1m", "req/s 5m", "p99 5m")
 	b.WriteString(strings.Repeat("─", 92) + "\n")
-	for _, name := range endpointRows(rep.Windows) {
-		wd := rep.Windows["serve.http."+name+".seconds"]
+	for _, row := range endpointRows(rep.Windows) {
+		wd := rep.Windows[row.key]
 		fmt.Fprintf(&b, "%-10s %9.1f %9s %9s %9s %9s │ %9.1f %9s\n",
-			name,
+			row.label,
 			wd.M1.RatePerSec, ms(wd.M1.P50Sec), ms(wd.M1.P95Sec), ms(wd.M1.P99Sec), ms(wd.M1.MeanSec),
 			wd.M5.RatePerSec, ms(wd.M5.P99Sec))
 	}
@@ -55,22 +57,84 @@ func render(rep *obs.Report, target string) string {
 	fmt.Fprintf(&b, "queue wait 1m p50 %s p95 %s p99 %s    batch size 1m mean %.1f (n=%d)\n",
 		ms(qw.M1.P50Sec), ms(qw.M1.P95Sec), ms(qw.M1.P99Sec), bs.M1.MeanSec, bs.M1.Count)
 
+	// Shards panel: one row per worker peer, from the coordinator's
+	// cluster.peer.<addr>.* health metrics and cluster.rpc.<addr>.seconds
+	// latency windows. Only rendered when the target is a coordinator.
+	if hosts := shardRows(rep.Gauges); len(hosts) > 0 {
+		b.WriteByte('\n')
+		b.WriteString("shards")
+		if g := rep.Meta["cluster_generation"]; g != "" {
+			fmt.Fprintf(&b, " — generation %s", g)
+		}
+		fmt.Fprintf(&b, " (%d workers)\n", len(hosts))
+		fmt.Fprintf(&b, "%-28s %5s %8s %6s %9s %9s %9s   %s\n",
+			"worker", "up", "breaker", "fails", "rpc/s 1m", "p95 1m", "p99 1m", "front-ends")
+		b.WriteString(strings.Repeat("─", 92) + "\n")
+		for _, h := range hosts {
+			up, brk := "down", "closed"
+			if rep.Gauges["cluster.peer."+h+".up"] > 0 {
+				up = "up"
+			}
+			if rep.Gauges["cluster.peer."+h+".breaker_open"] > 0 {
+				brk = "open"
+			}
+			wd := rep.Windows["cluster.rpc."+h+".seconds"]
+			fmt.Fprintf(&b, "%-28s %5s %8s %6d %9.1f %9s %9s   %s\n",
+				h, up, brk, rep.Counters["cluster.peer."+h+".failures"],
+				wd.M1.RatePerSec, ms(wd.M1.P95Sec), ms(wd.M1.P99Sec),
+				rep.Meta["shard."+h])
+		}
+		cerrs := rep.Windows["cluster.http.errors"]
+		cdeg := rep.Windows["cluster.score.degraded"]
+		fmt.Fprintf(&b, "coordinator 5xx/s 1m %8.2f  (total %d)    degraded/s 1m %8.2f  (total %d)\n",
+			cerrs.M1.RatePerSec, rep.Counters["cluster.http.errors"],
+			cdeg.M1.RatePerSec, rep.Counters["cluster.score.degraded"])
+	}
+
 	return b.String()
 }
 
-// endpointRows extracts the endpoint names that have latency windows,
-// sorted for a stable screen layout.
-func endpointRows(windows map[string]obs.WindowsData) []string {
-	var names []string
+// endpointRow is one line of the RED table: a display label plus the
+// windows key it reads.
+type endpointRow struct {
+	label, key string
+}
+
+// endpointRows extracts the endpoint names that have latency windows —
+// the serving tier's serve.http.* and, on a coordinator, the cluster
+// tier's cluster.http.* (labelled c/<name>) — sorted for a stable
+// screen layout.
+func endpointRows(windows map[string]obs.WindowsData) []endpointRow {
+	var rows []endpointRow
 	for k := range windows {
 		if rest, ok := strings.CutPrefix(k, "serve.http."); ok {
 			if name, ok := strings.CutSuffix(rest, ".seconds"); ok && name != "" {
-				names = append(names, name)
+				rows = append(rows, endpointRow{label: name, key: k})
+			}
+		}
+		if rest, ok := strings.CutPrefix(k, "cluster.http."); ok {
+			if name, ok := strings.CutSuffix(rest, ".seconds"); ok && name != "" {
+				rows = append(rows, endpointRow{label: "c/" + name, key: k})
 			}
 		}
 	}
-	sort.Strings(names)
-	return names
+	sort.Slice(rows, func(i, j int) bool { return rows[i].label < rows[j].label })
+	return rows
+}
+
+// shardRows extracts worker addresses from cluster.peer.<addr>.up
+// gauges, sorted for a stable layout.
+func shardRows(gauges map[string]float64) []string {
+	var hosts []string
+	for k := range gauges {
+		if rest, ok := strings.CutPrefix(k, "cluster.peer."); ok {
+			if h, ok := strings.CutSuffix(rest, ".up"); ok && h != "" {
+				hosts = append(hosts, h)
+			}
+		}
+	}
+	sort.Strings(hosts)
+	return hosts
 }
 
 // ms renders a seconds quantity as adaptive-precision milliseconds.

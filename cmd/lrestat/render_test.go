@@ -78,13 +78,110 @@ func TestRenderEmptyReport(t *testing.T) {
 
 func TestEndpointRows(t *testing.T) {
 	rows := endpointRows(map[string]obs.WindowsData{
-		"serve.http.score.seconds": {},
-		"serve.http.batch.seconds": {},
-		"serve.queue.wait_seconds": {}, // not an endpoint latency metric
-		"serve.http..seconds":      {}, // degenerate: empty name skipped
+		"serve.http.score.seconds":   {},
+		"serve.http.batch.seconds":   {},
+		"serve.queue.wait_seconds":   {}, // not an endpoint latency metric
+		"serve.http..seconds":        {}, // degenerate: empty name skipped
+		"cluster.http.score.seconds": {}, // coordinator tier: own labelled row
+		"cluster.rpc.w0:91.seconds":  {}, // per-peer RPC latency, not an endpoint
 	})
-	if len(rows) != 2 || rows[0] != "batch" || rows[1] != "score" {
-		t.Fatalf("endpointRows = %v, want [batch score]", rows)
+	var labels []string
+	for _, r := range rows {
+		labels = append(labels, r.label)
+	}
+	want := []string{"batch", "c/score", "score"}
+	if len(labels) != len(want) {
+		t.Fatalf("endpointRows = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("endpointRows = %v, want %v", labels, want)
+		}
+	}
+	if rows[1].key != "cluster.http.score.seconds" {
+		t.Fatalf("c/score reads %q", rows[1].key)
+	}
+}
+
+// coordinatorReport is a coordinator /metricsz snapshot: two workers,
+// one healthy and one dead behind an open breaker.
+func coordinatorReport() *obs.Report {
+	return &obs.Report{
+		Meta: map[string]string{
+			"role":               "coordinator",
+			"cluster_generation": "4",
+			"model_version":      "4",
+			"shard.w0.test:9101": "FE0,FE2",
+			"shard.w1.test:9102": "FE1",
+		},
+		Counters: map[string]int64{
+			"cluster.http.errors":                1,
+			"cluster.score.degraded":             9,
+			"cluster.peer.w0.test:9101.failures": 0,
+			"cluster.peer.w1.test:9102.failures": 12,
+		},
+		Gauges: map[string]float64{
+			"cluster.peer.w0.test:9101.up":           1,
+			"cluster.peer.w0.test:9101.breaker_open": 0,
+			"cluster.peer.w1.test:9102.up":           0,
+			"cluster.peer.w1.test:9102.breaker_open": 1,
+		},
+		Windows: map[string]obs.WindowsData{
+			"cluster.http.score.seconds": {
+				M1: obs.WindowStats{Count: 540, RatePerSec: 9, P50Sec: 0.004, P95Sec: 0.012, P99Sec: 0.019, MeanSec: 0.005},
+			},
+			"cluster.rpc.w0.test:9101.seconds": {
+				M1: obs.WindowStats{Count: 540, RatePerSec: 9, P95Sec: 0.0031, P99Sec: 0.0054},
+			},
+			"cluster.http.errors":    {M1: obs.WindowStats{Count: 1, RatePerSec: 0.02}},
+			"cluster.score.degraded": {M1: obs.WindowStats{Count: 9, RatePerSec: 0.15}},
+		},
+	}
+}
+
+// TestRenderShardsPanel pins the coordinator dashboard: per-worker
+// up/breaker/failure state and shard-RPC latency from the cluster.peer
+// and cluster.rpc metric namespaces, pure render, no live fleet.
+func TestRenderShardsPanel(t *testing.T) {
+	out := render(coordinatorReport(), "http://coord:8080")
+	for _, want := range []string{
+		"shards — generation 4 (2 workers)",
+		"w0.test:9101",
+		"w1.test:9102",
+		"c/score", // coordinator RED row, labelled apart from worker rows
+		"FE0,FE2", // shard assignment from /metricsz meta
+		"FE1",
+		"3.10ms", // w0 rpc p95 1m
+		"5.40ms", // w0 rpc p99 1m
+		"coordinator 5xx/s 1m",
+		"(total 9)", // cluster.score.degraded cumulative
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shards panel missing %q:\n%s", want, out)
+		}
+	}
+	// Health columns: w0 up with a closed breaker, w1 down with an open
+	// one and its failure count.
+	for _, row := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(row, "w0.test:9101"):
+			if !strings.Contains(row, " up ") || !strings.Contains(row, "closed") {
+				t.Errorf("w0 row %q, want up/closed", row)
+			}
+		case strings.HasPrefix(row, "w1.test:9102"):
+			if !strings.Contains(row, "down") || !strings.Contains(row, "open") || !strings.Contains(row, "12") {
+				t.Errorf("w1 row %q, want down/open/12 failures", row)
+			}
+		}
+	}
+}
+
+// TestRenderStandaloneHasNoShardsPanel: a plain daemon's report renders
+// exactly as before the cluster work — no shards section.
+func TestRenderStandaloneHasNoShardsPanel(t *testing.T) {
+	out := render(sampleReport(), "http://127.0.0.1:8080")
+	if strings.Contains(out, "shards") || strings.Contains(out, "c/") {
+		t.Errorf("standalone dashboard grew cluster sections:\n%s", out)
 	}
 }
 

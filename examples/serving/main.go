@@ -3,7 +3,10 @@
 // internal/serve server (the same registry + micro-batching machinery
 // cmd/lred wraps), then act as a client: score an utterance by phone
 // lattice over HTTP, hot-reload a retrained bundle while requests are in
-// flight, and drain gracefully.
+// flight, and drain gracefully. Part two scales the same bundle out to a
+// two-worker scatter–gather fleet (internal/cluster, what
+// `lred -role=coordinator|worker` wraps), kills a worker mid-service,
+// and shows survivor fusion degrading the response instead of failing it.
 //
 //	go run ./examples/serving
 package main
@@ -18,7 +21,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/serve"
 )
@@ -110,6 +115,114 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("drained cleanly")
+
+	fleetWalkthrough(dir, m.FrontEnds, req.FrontEnds[fe].Lattice)
+}
+
+// fleetWalkthrough scales the same bundle out: two shared-nothing shard
+// workers, a coordinator that scatters per-front-end RPCs and gathers
+// them into one response, and a worker kill demonstrating the
+// degradation contract (`lred -role=coordinator -peers=...` wraps
+// exactly this).
+func fleetWalkthrough(dir string, frontEnds []string, lattice [][]serve.Slot) {
+	// A fleet request covers the full battery so the scatter spans both
+	// workers and fusion has every subsystem to draw on.
+	req := serve.ScoreRequest{ID: "utt-fleet", FrontEnds: make(map[string]serve.FrontEndInput)}
+	for _, fe := range frontEnds {
+		req.FrontEnds[fe] = serve.FrontEndInput{Lattice: lattice}
+	}
+	fmt.Println("\n== part two: two-worker scatter–gather fleet ==")
+
+	// 1. Start two workers, each with its own lifecycle so one can be
+	// killed later. A worker begins empty (it owns no model until the
+	// coordinator assigns it a shard of the bundle) and serves 503 until
+	// its first push.
+	var peers []string
+	var kill []context.CancelFunc
+	for i := 0; i < 2; i++ {
+		spool, err := os.MkdirTemp("", "serving-example-spool")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(spool)
+		w, err := cluster.NewWorker(cluster.WorkerConfig{Spool: spool})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		wctx, stop := context.WithCancel(context.Background())
+		defer stop()
+		go w.Run(wctx, ln)
+		peers = append(peers, ln.Addr().String())
+		kill = append(kill, stop)
+	}
+	fmt.Printf("workers: %v\n", peers)
+
+	// 2. The coordinator loads the full bundle, splits it into per-worker
+	// sub-bundles (front-end i → worker i%n), pushes them, and pins the
+	// fleet to one cluster generation so responses never mix model
+	// versions.
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		ModelDir:     dir,
+		Peers:        peers,
+		ShardTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	if err := coord.Distribute(ctx); err != nil {
+		log.Fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go coord.Run(ctx, cln)
+	base := "http://" + cln.Addr().String()
+
+	var cz cluster.Clusterz
+	getJSON(base+"/clusterz", &cz)
+	fmt.Printf("generation %d, shard assignment:\n", cz.Generation)
+	for _, p := range cz.Peers {
+		fmt.Printf("  %s → %v\n", p.Addr, p.FrontEnds)
+	}
+
+	// 3. Same client request, same wire API — the coordinator scatters
+	// each front-end to the worker that owns it and gathers the scores.
+	var res serve.ScoreResponse
+	postJSON(base+"/v1/score", req, &res)
+	fmt.Printf("fleet scored %q: best=%s degraded=%v\n", res.ID, res.Best, res.Degraded)
+
+	// 4. Kill one worker. The missed shard degrades the response exactly
+	// like a failed front-end in a standalone server: its scores drop
+	// out, fusion rescales over the survivors, and the client still gets
+	// a 2xx with the loss spelled out on the wire.
+	fmt.Println("== killing worker 0 ==")
+	kill[0]()
+	time.Sleep(300 * time.Millisecond) // let its listener close
+	resp, err := http.Post(base+"/v1/score", "application/json", marshalBody(req))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var degraded serve.ScoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&degraded); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status %d, degraded=%v, surviving=%v\n", resp.StatusCode, degraded.Degraded, degraded.Surviving)
+}
+
+func marshalBody(v any) io.Reader {
+	data, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return bytes.NewReader(data)
 }
 
 func postJSON(url string, in, out any) {

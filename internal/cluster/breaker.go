@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerPolicy governs the per-peer circuit breaker — the same
+// state machine as the model-reload breaker (serve/reloader.go),
+// generalized from "reload attempts" to "RPCs against one peer". Zero
+// values select the defaults noted per field.
+type BreakerPolicy struct {
+	// TripAfter is how many consecutive failed RPCs open the breaker (3).
+	TripAfter int
+	// Cooldown is how long an open breaker fails the peer fast before
+	// letting one probe RPC through (10 s).
+	Cooldown time.Duration
+}
+
+func (p *BreakerPolicy) setDefaults() {
+	if p.TripAfter <= 0 {
+		p.TripAfter = 3
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 10 * time.Second
+	}
+}
+
+// Breaker states as reported by State and /clusterz.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// breaker is one peer's circuit breaker. Closed: RPCs pass through.
+// Open (TripAfter consecutive failures): allow returns false until the
+// cooldown passes, so the scatter path degrades the shard immediately
+// instead of stalling a request on a dead worker. Half-open (cooldown
+// elapsed): the next RPC runs as a probe — success closes the breaker,
+// failure re-arms the cooldown.
+type breaker struct {
+	pol BreakerPolicy
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+}
+
+func newBreaker(pol BreakerPolicy) *breaker {
+	pol.setDefaults()
+	return &breaker{pol: pol}
+}
+
+// allow reports whether an RPC may run now (closed, or half-open probe).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails < b.pol.TripAfter || !now.Before(b.openUntil)
+}
+
+// success records a completed RPC and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// failure records a failed RPC; when the consecutive-failure count
+// reaches TripAfter the breaker (re-)arms its cooldown. Returns true
+// when this failure tripped the breaker closed→open (for metrics).
+func (b *breaker) failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.fails >= b.pol.TripAfter {
+		tripped := b.fails == b.pol.TripAfter
+		b.openUntil = now.Add(b.pol.Cooldown)
+		return tripped
+	}
+	return false
+}
+
+// state reports the breaker state at time now.
+func (b *breaker) state(now time.Time) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.fails < b.pol.TripAfter:
+		return BreakerClosed
+	case now.Before(b.openUntil):
+		return BreakerOpen
+	default:
+		return BreakerHalfOpen
+	}
+}

@@ -1,0 +1,114 @@
+// Package cluster turns the single-process scoring daemon into a
+// horizontally scaled tier: a **coordinator** that owns the full model
+// bundle and the fusion backend, and shared-nothing **shard workers**
+// that each load only their assigned front-ends and score them on
+// demand.
+//
+// The coordinator accepts the exact /v1/score and /v1/score/batch API
+// of internal/serve, scatters per-front-end scoring RPCs to the workers
+// that own them, gathers the partial score rows under a per-shard
+// deadline, and fuses the survivors with serve.AssembleResult — i.e.
+// fusion.Score when every shard answered and fusion.ScoreMasked
+// survivor fusion when one did not. A shard that misses its deadline,
+// trips its circuit breaker, or answers for the wrong model generation
+// degrades the request exactly like a failed in-process front-end does
+// in standalone mode: the response stays 2xx, marked Degraded with the
+// surviving front-end set on the wire.
+//
+// Model distribution is coordinator-driven and generation-consistent.
+// The coordinator splits its bundle into per-worker sub-bundles
+// (internal/persist format, fusion stripped — fusion happens only at
+// the coordinator), stamps each with the fleet generation, and pushes
+// them over POST /-/bundle; a worker installs the bundle into its spool
+// directory and hot-swaps it through the ordinary serve reload path.
+// Scoring RPCs carry the generation in the X-Cluster-Generation header:
+// a worker rejects routed requests for a different generation with 409,
+// and the coordinator re-checks the generation echoed in every shard
+// response, so a request never fuses scores from mixed model
+// generations even across a concurrent redistribution. A background
+// repair loop re-pushes the current generation to workers that restart
+// empty or fall behind.
+//
+// Peer health reuses the retry/backoff + circuit-breaker machinery
+// introduced for model reloads (serve/reloader.go), generalized per
+// peer: TripAfter consecutive RPC failures open the breaker, scoring
+// then fails fast (degrading instead of stalling on a dead worker)
+// until Cooldown elapses and a half-open probe re-tests the peer.
+//
+// Chaos: every shard RPC passes the fault-injection site
+// "cluster.rpc.<host:port>" (prefix rules: cluster.rpc.*), so the chaos
+// plan grammar reaches the scatter path like any other site.
+//
+// cmd/lred surfaces all of this as -role=coordinator|worker; the
+// default -role=standalone is bit-identical to the pre-cluster daemon.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// Clock abstracts the time source of the breaker cooldowns and the
+// repair loop so tests drive them deterministically (same de-flake
+// contract as internal/serve: no test asserts on a wall-clock race).
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// bundlePush is the body of POST /-/bundle: the shard's manifest (with
+// ClusterGeneration stamped) plus the sealed bundle bytes exactly as
+// persist.MarshalSealed produced them.
+type bundlePush struct {
+	Manifest  persist.Manifest `json:"manifest"`
+	BundleB64 string           `json:"bundle_b64"`
+}
+
+// bundleAck is a worker's response to a successful bundle install.
+type bundleAck struct {
+	Generation   int64    `json:"generation"`
+	ModelVersion int64    `json:"model_version"`
+	FrontEnds    []string `json:"front_ends"`
+}
+
+// Clusterz is the GET /clusterz introspection body. Workers report their
+// own shard state; the coordinator reports the fleet (Peers filled).
+type Clusterz struct {
+	Role         string       `json:"role"`
+	Generation   int64        `json:"generation"`
+	ModelVersion int64        `json:"model_version,omitempty"`
+	FrontEnds    []string     `json:"front_ends,omitempty"`
+	Peers        []PeerStatus `json:"peers,omitempty"`
+}
+
+// PeerStatus is one worker's health as the coordinator sees it.
+type PeerStatus struct {
+	Addr      string   `json:"addr"`
+	FrontEnds []string `json:"front_ends"`
+	Up        bool     `json:"up"`
+	Breaker   string   `json:"breaker"` // closed | open | half-open
+	Failures  int64    `json:"failures"`
+	// Generation the peer last acked; 0 until the first install.
+	Generation int64 `json:"generation"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,24 @@
+package cluster
+
+// Assign partitions front-ends across workers round-robin in bundle
+// order: front-end i goes to worker i mod n. The assignment is a pure
+// function of (bundle front-end order, worker count), so the
+// coordinator, the repair loop, and every test derive the identical
+// routing table without negotiation — and a redistribution after a
+// worker restart lands each front-end back on the same worker.
+//
+// Round-robin (rather than contiguous blocks) keeps per-worker load
+// even when front-ends differ in cost by inventory size: the paper's
+// battery orders front-ends by recognizer, and adjacent recognizers
+// have correlated phone-set sizes.
+func Assign(frontEnds []string, workers int) [][]string {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([][]string, workers)
+	for i, fe := range frontEnds {
+		w := i % workers
+		out[w] = append(out[w], fe)
+	}
+	return out
+}

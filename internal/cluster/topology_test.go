@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAssignRoundRobin(t *testing.T) {
+	fes := []string{"a", "b", "c", "d", "e"}
+	got := Assign(fes, 2)
+	want := [][]string{{"a", "c", "e"}, {"b", "d"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign = %v, want %v", got, want)
+	}
+}
+
+func TestAssignProperties(t *testing.T) {
+	fes := []string{"FE0", "FE1", "FE2", "FE3", "FE4", "FE5", "FE6"}
+	for workers := 1; workers <= 9; workers++ {
+		got := Assign(fes, workers)
+		if len(got) != workers {
+			t.Fatalf("workers=%d: %d shards", workers, len(got))
+		}
+		// Every front-end lands on exactly one shard, order preserved
+		// within a shard, and shard sizes differ by at most one.
+		seen := map[string]int{}
+		min, max := len(fes), 0
+		for _, shard := range got {
+			for i := 1; i < len(shard); i++ {
+				if shard[i-1] >= shard[i] {
+					t.Fatalf("workers=%d: shard order broken: %v", workers, shard)
+				}
+			}
+			if len(shard) < min {
+				min = len(shard)
+			}
+			if len(shard) > max {
+				max = len(shard)
+			}
+			for _, fe := range shard {
+				seen[fe]++
+			}
+		}
+		if len(seen) != len(fes) {
+			t.Fatalf("workers=%d: covered %d of %d front-ends", workers, len(seen), len(fes))
+		}
+		for fe, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: %s assigned %d times", workers, fe, n)
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("workers=%d: unbalanced shards (sizes %d..%d)", workers, min, max)
+		}
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	fes := []string{"x", "y", "z"}
+	a := Assign(fes, 2)
+	b := Assign(fes, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Assign not deterministic: %v vs %v", a, b)
+	}
+}

@@ -27,6 +27,14 @@
 //	serve.score.fe.<name>  one front-end's scoring pass (error/panic)
 //	serve.reload           model registry reload (error)
 //
+// Cluster sites (the coordinator hits one per shard RPC — scoring,
+// bundle push, and health probe alike; internal/cluster):
+//
+//	cluster.rpc.<host:port>  one shard RPC about to leave the coordinator
+//	                         (error→shard degrades or breaker trips,
+//	                         delay→RPC stalls into its shard deadline).
+//	                         Plans usually match by prefix: cluster.rpc.*
+//
 // Checkpoint/resume sites (the kill-and-resume suite and lre -chaos
 // schedule crashes here; see internal/checkpoint):
 //

@@ -182,3 +182,107 @@ func TestSelectionWeightsMonotone(t *testing.T) {
 		}
 	}
 }
+
+// TestScoreMaskedMultiLossEqualsHandImputation extends the degraded-
+// fusion contract to multiple simultaneous losses — the cluster serving
+// tier can lose several shard workers at once, each taking a set of
+// subsystems with it. Every missing slot is imputed with the survivors'
+// mean, then scored exactly as Score would; this must hold for every
+// loss pattern down to a single survivor.
+func TestScoreMaskedMultiLossEqualsHandImputation(t *testing.T) {
+	const nSub = 4
+	b, x, _ := trainedBackend(t, nSub, 36)
+	// Every non-trivial mask with at least one survivor and at least two
+	// losses: pairs, triples (single survivor).
+	for mask := 1; mask < 1<<nSub; mask++ {
+		present := make([]bool, nSub)
+		nPresent := 0
+		for q := range present {
+			if mask&(1<<q) != 0 {
+				present[q] = true
+				nPresent++
+			}
+		}
+		if lost := nSub - nPresent; lost < 2 {
+			continue
+		}
+		for _, xi := range x[:25] {
+			var sum float64
+			for q, ok := range present {
+				if ok {
+					sum += xi[q]
+				}
+			}
+			mean := sum / float64(nPresent)
+			filled := append([]float64(nil), xi...)
+			for q, ok := range present {
+				if !ok {
+					filled[q] = mean
+				}
+			}
+			want := b.Score(filled)
+			got := b.ScoreMasked(xi, present)
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("mask %04b: masked %v, hand-imputed %v", mask, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreMaskedUniformInputMaskInvariant: when every subsystem reports
+// the identical score vector, the survivors' mean equals the missing
+// values, so masking any non-empty subset must reproduce the unmasked
+// score bit-for-bit — a metamorphic check that imputation adds no
+// information of its own.
+func TestScoreMaskedUniformInputMaskInvariant(t *testing.T) {
+	const nSub = 4
+	b, _, _ := trainedBackend(t, nSub, 37)
+	for _, s := range []float64{-2.5, -0.25, 0, 1.75} {
+		x := make([]float64, nSub)
+		for q := range x {
+			x[q] = s
+		}
+		want := b.Score(x)
+		for mask := 1; mask < 1<<nSub; mask++ {
+			present := make([]bool, nSub)
+			for q := range present {
+				present[q] = mask&(1<<q) != 0
+			}
+			got := b.ScoreMasked(x, present)
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("s=%v mask %04b: %v, want unmasked %v", s, mask, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreMaskedLossOrderIrrelevant: the imputation depends only on
+// WHICH subsystems survive, never on any ordering of the losses — two
+// shard workers dying in either order must fuse identically.
+func TestScoreMaskedLossOrderIrrelevant(t *testing.T) {
+	const nSub = 4
+	b, x, _ := trainedBackend(t, nSub, 38)
+	for _, xi := range x[:25] {
+		a := b.ScoreMasked(xi, []bool{true, false, false, true})
+		c := b.ScoreMasked(xi, []bool{true, false, false, true})
+		for k := range a {
+			if a[k] != c[k] {
+				t.Fatalf("repeated masked scoring diverged: %v vs %v", a, c)
+			}
+		}
+		// Losing {1} then {2} and losing {2} then {1} end at the same mask;
+		// simulate by comparing against a fresh backend call with the same
+		// survivor set built in reverse.
+		rev := []bool{true, false, false, true}
+		d := b.ScoreMasked(append([]float64(nil), xi...), rev)
+		for k := range a {
+			if a[k] != d[k] {
+				t.Fatalf("survivor-set scoring depends on construction order: %v vs %v", a, d)
+			}
+		}
+	}
+}

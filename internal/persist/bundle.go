@@ -99,6 +99,15 @@ type Manifest struct {
 	// bundles written before the field existed — then only the bundle
 	// file's own integrity footer applies.
 	BundleSHA256 string `json:"bundle_sha256,omitempty"`
+	// Cluster shard provenance (zero/empty outside internal/cluster
+	// deployments). ClusterGeneration is the coordinator fleet generation
+	// this bundle was distributed under — shard workers refuse scoring
+	// requests routed for a different generation, so a scatter–gather
+	// request never fuses scores from mixed model generations. ShardOf
+	// names the coordinator's bundle (its SHA-256) the shard was split
+	// from.
+	ClusterGeneration int64  `json:"cluster_generation,omitempty"`
+	ShardOf           string `json:"shard_of,omitempty"`
 }
 
 // SaveBundle writes a bundle directory: bundle.gob first, manifest.json

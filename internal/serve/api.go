@@ -82,20 +82,41 @@ type ScoreResult struct {
 // the request's W3C trace id (accepted from the caller's traceparent or
 // minted by the server) — the key into /tracez and the access log.
 type ScoreResponse struct {
-	ModelVersion int64    `json:"model_version"`
-	Languages    []string `json:"languages"`
-	TraceID      string   `json:"trace_id,omitempty"`
+	ModelVersion int64 `json:"model_version"`
+	// ClusterGeneration is the fleet generation of the serving bundle
+	// when the process is a cluster shard worker (see internal/cluster);
+	// zero — and omitted — in standalone deployments.
+	ClusterGeneration int64    `json:"cluster_generation,omitempty"`
+	Languages         []string `json:"languages"`
+	TraceID           string   `json:"trace_id,omitempty"`
 	ScoreResult
 }
 
 // BatchResponse is the body of POST /v1/score/batch. Results align with
 // the request's utterances; per-utterance failures carry an Error instead
 // of scores.
+//
+// Degradation is accounted per utterance, never for the batch as a
+// whole: each Results[i] carries its own Degraded flag, Surviving set,
+// and FrontEndErrors (one utterance losing a front-end says nothing
+// about its batch-mates). Degraded and DegradedCount summarize that
+// per-utterance accounting — Degraded is true iff at least one
+// utterance degraded — so callers that only need the tally (the cluster
+// coordinator's per-shard accounting, dashboards) don't have to walk
+// Results.
 type BatchResponse struct {
-	ModelVersion int64         `json:"model_version"`
-	Languages    []string      `json:"languages"`
-	TraceID      string        `json:"trace_id,omitempty"`
-	Results      []ScoreResult `json:"results"`
+	ModelVersion int64 `json:"model_version"`
+	// ClusterGeneration is the fleet generation of the serving bundle
+	// when the process is a cluster shard worker (see internal/cluster);
+	// zero — and omitted — in standalone deployments.
+	ClusterGeneration int64         `json:"cluster_generation,omitempty"`
+	Languages         []string      `json:"languages"`
+	TraceID           string        `json:"trace_id,omitempty"`
+	Results           []ScoreResult `json:"results"`
+	// Degraded is true when any utterance in Results degraded;
+	// DegradedCount is how many did.
+	Degraded      bool `json:"degraded,omitempty"`
+	DegradedCount int  `json:"degraded_count,omitempty"`
 }
 
 // requestError is a client-side fault (HTTP 400).
@@ -196,9 +217,9 @@ var (
 	wobsDegraded = obs.GetWindowCounter("serve.score.degraded")
 )
 
-// assembleResult turns one job's per-front-end score rows into the wire
-// result: named scores, the fused row (when the bundle has a backend and
-// the request covered every front-end — the backend's feature layout
+// AssembleResult turns one utterance's per-front-end score rows into the
+// wire result: named scores, the fused row (when the bundle has a backend
+// and the request covered every front-end — the backend's feature layout
 // needs the complete battery), and the argmax language.
 //
 // feErrs carries front-ends that failed mid-request. When every requested
@@ -207,7 +228,13 @@ var (
 // offline pipeline. When some failed, the result is marked Degraded and
 // the fused row is computed by fusion.ScoreMasked over the survivors (the
 // documented degraded-fusion contract in DESIGN.md).
-func assembleResult(m *Model, id string, scores map[int][]float64, feErrs map[int]error) ScoreResult {
+//
+// Exported because the cluster coordinator (internal/cluster) gathers
+// score rows from remote shard workers and must fuse them exactly like
+// the in-process scoring path does — a shard that missed its deadline is
+// fed in as a feErrs entry per front-end and degrades the request
+// precisely like a failed local front-end.
+func AssembleResult(m *Model, id string, scores map[int][]float64, feErrs map[int]error) ScoreResult {
 	res := ScoreResult{ID: id, Scores: make(map[string][]float64, len(scores))}
 	for q, row := range scores {
 		res.Scores[m.Bundle.FrontEnds[q].Name] = row

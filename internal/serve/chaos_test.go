@@ -465,3 +465,72 @@ func TestReloadEndpointBreaker503(t *testing.T) {
 		t.Fatalf("scoring during open breaker: status %d: %s", sresp.StatusCode, sbody)
 	}
 }
+
+// TestBatchDegradationIsPerUtterance pins the batch accounting contract:
+// a front-end outage degrades exactly the utterances that requested the
+// broken front-end — batch-mates that never touched it come back clean
+// and bit-identical — and the top-level Degraded/DegradedCount summary
+// tallies the per-utterance sets without replacing them.
+func TestBatchDegradationIsPerUtterance(t *testing.T) {
+	dir := t.TempDir()
+	b := writeTestBundle(t, dir, 23)
+	s := newTestServer(t, dir, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	raw := testVector(15)
+	want := expectedScores(b, raw)
+	full := scoreRequestFor(b, raw)
+	full.ID = "both-fes"
+	only1 := ScoreRequest{ID: "fe1-only", FrontEnds: map[string]FrontEndInput{
+		"FE1": full.FrontEnds["FE1"],
+	}}
+	batch := BatchRequest{Utterances: []ScoreRequest{full, only1, only1}}
+
+	disable := faultinject.Enable(&faultinject.Plan{Seed: 5, Rules: []faultinject.Rule{
+		{Site: "serve.score.fe.FE0", Kind: faultinject.KindError, Every: 1, Err: "injected outage"},
+	}})
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/score/batch", batch)
+	disable()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(br.Results))
+	}
+	hit := br.Results[0]
+	if !hit.Degraded || len(hit.Surviving) != 1 || hit.Surviving[0] != "FE1" {
+		t.Fatalf("FE0-requesting utterance: %+v, want degraded with surviving [FE1]", hit)
+	}
+	if msg := hit.FrontEndErrors["FE0"]; !strings.Contains(msg, "injected outage") {
+		t.Fatalf("FE0 error %q", msg)
+	}
+	for i := 1; i < 3; i++ {
+		clean := br.Results[i]
+		if clean.Degraded || clean.Error != "" || clean.Surviving != nil || clean.FrontEndErrors != nil {
+			t.Fatalf("batch-mate %d smeared by its neighbour's degradation: %+v", i, clean)
+		}
+		for k, v := range want["FE1"] {
+			if clean.Scores["FE1"][k] != v {
+				t.Fatalf("batch-mate %d score[%d] = %v, want %v (bit-identical)", i, k, clean.Scores["FE1"][k], v)
+			}
+		}
+	}
+	if !br.Degraded || br.DegradedCount != 1 {
+		t.Fatalf("batch summary degraded=%v count=%d, want true/1", br.Degraded, br.DegradedCount)
+	}
+
+	// A healthy batch carries no summary flags at all (wire-compatible
+	// with pre-summary clients: the fields marshal away).
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/score/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy batch: status %d", resp.StatusCode)
+	}
+	if strings.Contains(string(body), "degraded") {
+		t.Fatalf("healthy batch response leaks degraded fields: %s", body)
+	}
+}

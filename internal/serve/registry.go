@@ -61,6 +61,24 @@ func newModel(b *persist.Bundle, m *persist.Manifest, version int64) *Model {
 	return mod
 }
 
+// FrontEndIndex resolves a front-end name to its index in the bundle's
+// FrontEnds (the key space of AssembleResult's score rows).
+func (m *Model) FrontEndIndex(name string) (int, bool) {
+	q, ok := m.feIndex[name]
+	return q, ok
+}
+
+// ClusterGeneration is the fleet generation the bundle was distributed
+// under (see internal/cluster), zero for standalone bundles. It rides on
+// the model pointer, so a request resolved against this model reports the
+// generation it actually scored with even across a concurrent hot swap.
+func (m *Model) ClusterGeneration() int64 {
+	if m.Manifest == nil {
+		return 0
+	}
+	return m.Manifest.ClusterGeneration
+}
+
 // Registry owns the current model of a scoring process. Reload is
 // serialized; Current is a single atomic load on the hot path.
 type Registry struct {

@@ -55,6 +55,13 @@ type Config struct {
 	// (BENCH_obs.json). Production serving keeps tracing on.
 	DisableTracing bool
 
+	// WaitForModel lets the server start with an empty or unloadable
+	// bundle directory: scoring requests get 503 "no model loaded" and
+	// /readyz stays unready until a later reload succeeds. Cluster shard
+	// workers run this way — they boot against an empty spool directory
+	// and wait for the coordinator to push their shard bundle.
+	WaitForModel bool
+
 	// clock substitutes the time source in tests (nil: real time).
 	clock Clock
 }
@@ -103,7 +110,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: no model directory configured")
 	}
 	s := &Server{cfg: cfg, reg: NewRegistry(cfg.ModelDir)}
-	if _, err := s.reg.Reload(); err != nil {
+	if _, err := s.reg.Reload(); err != nil && !cfg.WaitForModel {
 		return nil, fmt.Errorf("serve: initial model load: %w", err)
 	}
 	s.reloader = newReloader(s.reg, cfg.Reload, cfg.clock)
@@ -467,15 +474,16 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if tr != nil {
 		fsp = tr.root.StartChild("fuse")
 	}
-	result := assembleResult(m, req.ID, res.scores, res.feErrs)
+	result := AssembleResult(m, req.ID, res.scores, res.feErrs)
 	if fsp != nil {
 		fsp.End()
 	}
 	tr.noteResult(j, &result)
 	resp := ScoreResponse{
-		ModelVersion: m.Version,
-		Languages:    m.Bundle.Languages,
-		ScoreResult:  result,
+		ModelVersion:      m.Version,
+		ClusterGeneration: m.ClusterGeneration(),
+		Languages:         m.Bundle.Languages,
+		ScoreResult:       result,
 	}
 	if tr != nil {
 		resp.TraceID = tr.id
@@ -544,7 +552,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 			if j.span != nil {
 				fsp = j.span.StartChild("fuse")
 			}
-			results[i] = assembleResult(m, j.id, res.scores, res.feErrs)
+			results[i] = AssembleResult(m, j.id, res.scores, res.feErrs)
 			if fsp != nil {
 				fsp.End()
 			}
@@ -555,9 +563,19 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp := BatchResponse{
-		ModelVersion: m.Version,
-		Languages:    m.Bundle.Languages,
-		Results:      results,
+		ModelVersion:      m.Version,
+		ClusterGeneration: m.ClusterGeneration(),
+		Languages:         m.Bundle.Languages,
+		Results:           results,
+	}
+	// Per-utterance degradation rolls up into the batch summary; the
+	// per-utterance flags and survivor sets on Results stay authoritative
+	// (one degraded utterance must not smear its batch-mates).
+	for i := range results {
+		if results[i].Degraded {
+			resp.Degraded = true
+			resp.DegradedCount++
+		}
 	}
 	if tr != nil {
 		resp.TraceID = tr.id
@@ -651,7 +669,17 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 // 503, every queued job is finished and delivered, and open connections
 // close — all within DrainTimeout. A clean drain returns nil.
 func (s *Server) Run(ctx context.Context, l net.Listener) error {
-	hs := &http.Server{Handler: s.mux}
+	return s.RunHandler(ctx, l, s.mux)
+}
+
+// RunHandler is Run with a caller-supplied handler tree — a wrapper
+// that extends this server's endpoints (the cluster shard worker mounts
+// /-/bundle and a generation check in front of the scoring handlers)
+// while keeping the server's drain discipline: on ctx cancellation the
+// queue finishes, new scoring work gets 503, and connections close
+// within DrainTimeout.
+func (s *Server) RunHandler(ctx context.Context, l net.Listener, h http.Handler) error {
+	hs := &http.Server{Handler: h}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(l) }()
 	select {
