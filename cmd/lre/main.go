@@ -84,6 +84,8 @@ func main() {
 		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this path")
 		pprofMem   = flag.String("pprof-mem", "", "write a heap profile at end of run to this path")
 		benchHot   = flag.String("bench-hotpath", "", "run the hot-path before/after benchmark protocol and write the JSON report to this path (see EXPERIMENTS.md)")
+		cascEval   = flag.String("cascade-eval", "", "train the tier-1 cascade, sweep thresholds, and write the accuracy/latency/traffic tradeoff curve JSON (BENCH_cascade.json) to this path")
+		cascMargin = flag.String("cascade-margin", "", "threshold offset policy for -cascade-eval's default operating point, e.g. \"0\" or \"default=0;30s=0.05\" (empty = calibrated margins as-is)")
 		ckDir      = flag.String("checkpoint-dir", "", "checkpoint directory: phase results are saved here and (with -resume) restored")
 		resume     = flag.Bool("resume", false, "resume from the newest intact generation in -checkpoint-dir (required when the dir already holds checkpoints)")
 		ckEvery    = flag.Int("checkpoint-every", 1, "save every Nth iterative-DBA round checkpoint (phase checkpoints are always saved)")
@@ -103,7 +105,7 @@ func main() {
 		runBenchHotpath(*benchHot)
 		return
 	}
-	if *table == "" && *fig == "" && *ablation == "" && *exportDir == "" {
+	if *table == "" && *fig == "" && *ablation == "" && *exportDir == "" && *cascEval == "" {
 		*table = "all"
 	}
 
@@ -130,7 +132,7 @@ func main() {
 	}
 	needPipeline := wantTable("1") || wantTable("2") || wantTable("3") ||
 		wantTable("4") || *fig == "3" || *ablation != "" || *scoresOut != "" ||
-		*iterate > 0 || *openset > 0 || *exportDir != ""
+		*iterate > 0 || *openset > 0 || *exportDir != "" || *cascEval != ""
 
 	var ck *experiments.Checkpointer
 	var store *checkpoint.Store
@@ -216,8 +218,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("exported bundle to %s: %d front-ends, %d languages, fusion=%v",
-			*exportDir, len(m.FrontEnds), m.NumLanguages, m.Fusion)
+		log.Printf("exported bundle to %s: %d front-ends, %d languages, fusion=%v, cascade=%q",
+			*exportDir, len(m.FrontEnds), m.NumLanguages, m.Fusion, m.Cascade)
+	}
+	if *cascEval != "" {
+		if err := runCascadeEval(p, *cascMargin, *cascEval); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if store != nil && *ckKeep > 0 {

@@ -53,6 +53,19 @@
 //
 //	lred -models ./models -chaos 'seed=7; serve.score.fe.HU:error:p=0.2'
 //
+// Cascade mode (-cascade) turns on the two-tier scoring cascade when the
+// bundle carries a tier-1 model (lre -export-models embeds one whenever
+// the pipeline can train it): requests whose tier-1 PRLM margin clears
+// the calibrated per-duration bar are answered from the cheap path —
+// the supervector/SVM battery never runs — and everything else escalates
+// unchanged. -cascade-margin shifts the calibrated thresholds ('-inf'
+// escalates everything, bit-identical to running without -cascade;
+// '+inf' answers everything at tier 1). Both the standalone daemon and
+// the cluster coordinator honor it (a coordinator-side tier-1 exit skips
+// the shard fan-out entirely); exit/escalate rates, tier-1 failures, and
+// per-path latency land under serve.cascade.* / cluster.cascade.* in
+// /metricsz and render as a cascade row in lrestat.
+//
 // Cluster roles (-role, default standalone): the same binary runs the
 // distributed scatter–gather topology from internal/cluster.
 //
@@ -122,6 +135,9 @@ func main() {
 		breakerTrip   = flag.Int("breaker-trip", 3, "consecutive failed reloads that open the circuit breaker")
 		breakerCool   = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker rejects reloads before probing")
 		chaos         = flag.String("chaos", "", "fault-injection plan, e.g. 'seed=7; serve.score.fe.HU:error:p=0.2' (testing only)")
+
+		cascadeOn     = flag.Bool("cascade", false, "enable the two-tier cascade fast path (the bundle must carry a cascade model; bundles without one escalate everything)")
+		cascadeMargin = flag.String("cascade-margin", "", "cascade threshold-offset policy: a bare offset ('0.05', '-inf', '+inf') or per-tier overrides ('default=0;30s=0.1'); empty = calibrated margins as-is")
 
 		accessLog      = flag.String("access-log", "stderr", "access-log destination: stderr, stdout, a file path, or 'none'")
 		accessLogEvery = flag.Int("access-log-every", 1, "log every Nth request (degraded/errored always log)")
@@ -205,6 +221,7 @@ func main() {
 		AccessLog:      logDst,
 		AccessLogEvery: *accessLogEvery,
 		DisableTracing: *noTrace,
+		Cascade:        serve.CascadeConfig{Enabled: *cascadeOn, Margin: *cascadeMargin},
 		Reload: serve.ReloadPolicy{
 			Retries:     *reloadRetries,
 			BaseBackoff: *reloadBackoff,
@@ -265,6 +282,7 @@ func main() {
 			PushBackoff:    *reloadBackoff,
 			DrainTimeout:   *drainTimeout,
 			DisableTracing: *noTrace,
+			Cascade:        serve.CascadeConfig{Enabled: *cascadeOn, Margin: *cascadeMargin},
 		})
 		if err != nil {
 			log.Fatal(err)

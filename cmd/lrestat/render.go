@@ -57,6 +57,28 @@ func render(rep *obs.Report, target string) string {
 	fmt.Fprintf(&b, "queue wait 1m p50 %s p95 %s p99 %s    batch size 1m mean %.1f (n=%d)\n",
 		ms(qw.M1.P50Sec), ms(qw.M1.P95Sec), ms(qw.M1.P99Sec), bs.M1.MeanSec, bs.M1.Count)
 
+	// Cascade rows: only on daemons running -cascade (the exit/escalate
+	// counters then partition every scoring utterance). A coordinator's
+	// cluster.cascade.* tier renders as its own c/cascade row, same
+	// labelling convention as the RED table.
+	for _, row := range []struct{ label, prefix string }{
+		{"cascade", "serve.cascade."},
+		{"c/cascade", "cluster.cascade."},
+	} {
+		exit := rep.Counters[row.prefix+"exit"]
+		esc := rep.Counters[row.prefix+"escalate"]
+		if exit+esc == 0 {
+			continue
+		}
+		wexit := rep.Windows[row.prefix+"exit"]
+		t1 := rep.Windows[row.prefix+"tier1.seconds"]
+		hv := rep.Windows[row.prefix+"escalated.seconds"]
+		fmt.Fprintf(&b, "%s exit %.1f%% (%d/%d)   exits/s 1m %.2f   tier1 fails %d   tier1 p95 1m %s   escalated p95 1m %s\n",
+			row.label, 100*float64(exit)/float64(exit+esc), exit, exit+esc,
+			wexit.M1.RatePerSec, rep.Counters[row.prefix+"tier1.failed"],
+			ms(t1.M1.P95Sec), ms(hv.M1.P95Sec))
+	}
+
 	// Shards panel: one row per worker peer, from the coordinator's
 	// cluster.peer.<addr>.* health metrics and cluster.rpc.<addr>.seconds
 	// latency windows. Only rendered when the target is a coordinator.

@@ -185,6 +185,48 @@ func TestRenderStandaloneHasNoShardsPanel(t *testing.T) {
 	}
 }
 
+// TestRenderCascadeRow pins the cascade dashboard line: exit fraction,
+// windowed exit rate, tier-1 failures, and per-path latency — rendered
+// only when the daemon actually runs -cascade, with a coordinator's
+// cluster.cascade.* tier as its own c/cascade row.
+func TestRenderCascadeRow(t *testing.T) {
+	rep := sampleReport()
+	rep.Counters["serve.cascade.exit"] = 300
+	rep.Counters["serve.cascade.escalate"] = 100
+	rep.Counters["serve.cascade.tier1.failed"] = 2
+	rep.Windows["serve.cascade.exit"] = obs.WindowsData{M1: obs.WindowStats{Count: 30, RatePerSec: 4.5}}
+	rep.Windows["serve.cascade.tier1.seconds"] = obs.WindowsData{M1: obs.WindowStats{P95Sec: 0.0012}}
+	rep.Windows["serve.cascade.escalated.seconds"] = obs.WindowsData{M1: obs.WindowStats{P95Sec: 0.0083}}
+	out := render(rep, "http://x")
+	for _, want := range []string{
+		"cascade exit 75.0% (300/400)",
+		"exits/s 1m 4.50",
+		"tier1 fails 2",
+		"1.20ms", // tier-1 p95
+		"8.30ms", // escalated p95
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cascade row missing %q:\n%s", want, out)
+		}
+	}
+
+	crep := coordinatorReport()
+	crep.Counters["cluster.cascade.exit"] = 40
+	crep.Counters["cluster.cascade.escalate"] = 60
+	cout := render(crep, "http://coord:8080")
+	if !strings.Contains(cout, "c/cascade exit 40.0% (40/100)") {
+		t.Errorf("coordinator cascade row missing:\n%s", cout)
+	}
+}
+
+// TestRenderNoCascadeRowWithoutTraffic: a daemon not running -cascade
+// (all cascade counters zero or absent) keeps the pre-cascade screen.
+func TestRenderNoCascadeRowWithoutTraffic(t *testing.T) {
+	if out := render(sampleReport(), "http://x"); strings.Contains(out, "cascade") {
+		t.Errorf("cascade row on a cascade-less daemon:\n%s", out)
+	}
+}
+
 func TestMsFormatting(t *testing.T) {
 	cases := map[float64]string{
 		0:      "—",

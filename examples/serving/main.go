@@ -3,7 +3,9 @@
 // internal/serve server (the same registry + micro-batching machinery
 // cmd/lred wraps), then act as a client: score an utterance by phone
 // lattice over HTTP, hot-reload a retrained bundle while requests are in
-// flight, and drain gracefully. Part two scales the same bundle out to a
+// flight, and drain gracefully. Part two turns on the tier-1 cascade
+// fast path (`lred -cascade`) and shows both a tier-1 exit and a
+// transparent escalation. Part three scales the same bundle out to a
 // two-worker scatter–gather fleet (internal/cluster, what
 // `lred -role=coordinator|worker` wraps), kills a worker mid-service,
 // and shows survivor fusion degrading the response instead of failing it.
@@ -116,7 +118,50 @@ func main() {
 	}
 	fmt.Println("drained cleanly")
 
+	cascadeWalkthrough(dir, req.FrontEnds[fe].Lattice)
 	fleetWalkthrough(dir, m.FrontEnds, req.FrontEnds[fe].Lattice)
+}
+
+// cascadeWalkthrough restarts the same bundle with the tier-1 cascade
+// fast path on (`lred -cascade`): ExportModels already trained a cheap
+// phone-LM classifier into the bundle, and a request whose 1-best
+// margin clears the calibrated bar is answered without ever touching
+// the supervector/SVM/fusion path. The margin policy here forces both
+// outcomes so the annotation is visible: "+inf" answers everything at
+// tier 1, "-inf" escalates everything (bit-identical to no cascade —
+// the transparency contract TESTING.md's cascade suite pins).
+func cascadeWalkthrough(dir string, lattice [][]serve.Slot) {
+	fmt.Println("\n== part two: cascade fast path ==")
+	for _, margin := range []string{"+inf", "-inf"} {
+		s, err := serve.New(serve.Config{
+			ModelDir: dir,
+			Cascade:  serve.CascadeConfig{Enabled: true, Margin: margin},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx, shutdown := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- s.Run(ctx, ln) }()
+
+		m := s.Registry().Current()
+		req := serve.ScoreRequest{ID: "utt-casc", FrontEnds: map[string]serve.FrontEndInput{
+			m.Bundle.Cascade.FrontEnd: {Lattice: lattice},
+		}}
+		var res serve.ScoreResponse
+		postJSON("http://"+ln.Addr().String()+"/v1/score", req, &res)
+		fmt.Printf("margin %s: best=%s cascade={exited:%v tier:%q reason:%q}\n",
+			margin, res.Best, res.Cascade.Exited, res.Cascade.Tier, res.Cascade.Reason)
+
+		shutdown()
+		if err := <-done; err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 // fleetWalkthrough scales the same bundle out: two shared-nothing shard
@@ -131,7 +176,7 @@ func fleetWalkthrough(dir string, frontEnds []string, lattice [][]serve.Slot) {
 	for _, fe := range frontEnds {
 		req.FrontEnds[fe] = serve.FrontEndInput{Lattice: lattice}
 	}
-	fmt.Println("\n== part two: two-worker scatter–gather fleet ==")
+	fmt.Println("\n== part three: two-worker scatter–gather fleet ==")
 
 	// 1. Start two workers, each with its own lifecycle so one can be
 	// killed later. A worker begins empty (it owns no model until the

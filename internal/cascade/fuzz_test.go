@@ -1,0 +1,50 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParsePolicy guards the threshold-spec parser (the -cascade-margin
+// flag, untrusted operator input): malformed specs must error, never
+// panic; accepted specs must be finite-or-±Inf (never NaN) and must
+// survive a String() → ParsePolicy round trip unchanged.
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"", "0", "0.25", "-0.5", "-inf", "+Inf", "inf",
+		"default=0.1", "default=0.1;30s=0.3", "30s=0.3,3s=-inf",
+		" default = 1 ; 10s = 2 ", "default=-Inf;3s=+Inf",
+		"nan", "30s=nan", "abc", "=1", "30s=", "30s=1;30s=2", ";;,,",
+		"a=1e308;b=-1e308", "x=0x1p-2", "default=1_0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(p.Default) {
+			t.Fatalf("%q: NaN default accepted", s)
+		}
+		for name, v := range p.PerTier {
+			if name == "" || name == "default" {
+				t.Fatalf("%q: bad override name %q", s, name)
+			}
+			if math.IsNaN(v) {
+				t.Fatalf("%q: NaN threshold accepted for %q", s, name)
+			}
+		}
+		canon := p.String()
+		p2, err := ParsePolicy(canon)
+		if err != nil {
+			t.Fatalf("%q: canonical form %q does not reparse: %v", s, canon, err)
+		}
+		if !policiesEqual(p, p2) {
+			t.Fatalf("%q: round trip %q gave %+v, want %+v", s, canon, p2, p)
+		}
+		if canon2 := p2.String(); canon2 != canon {
+			t.Fatalf("%q: canonical form not a fixed point: %q vs %q", s, canon, canon2)
+		}
+	})
+}

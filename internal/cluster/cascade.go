@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Coordinator-side cascade accounting, namespaced cluster.cascade.* for
+// the same reason the RED metrics are cluster.http.*: a co-resident
+// bench or test keeps the coordinator's tier apart from the workers'
+// serve.cascade.* in one obs registry. Exit/escalate partition every
+// scoring utterance of a cascade-enabled coordinator; tier1.failed
+// counts transparent fault-escalations (a subset of escalate).
+var (
+	cascExit    = obs.GetCounter("cluster.cascade.exit")
+	wcascExit   = obs.GetWindowCounter("cluster.cascade.exit")
+	cascEsc     = obs.GetCounter("cluster.cascade.escalate")
+	wcascEsc    = obs.GetWindowCounter("cluster.cascade.escalate")
+	cascFailed  = obs.GetCounter("cluster.cascade.tier1.failed")
+	wcascFailed = obs.GetWindowCounter("cluster.cascade.tier1.failed")
+)
+
+// tryCascade runs the tier-1 decision for one utterance before any shard
+// RPC is planned. A tier-1 exit answers from the coordinator alone —
+// zero fan-out, so the fast path also sheds the whole scatter–gather
+// cost; everything else (low margin, no tier-1 input, no cascade model
+// in the bundle, tier-1 fault) escalates into the ordinary shard fan-out
+// unchanged. The decision machinery is serve.CascadeTier1, the exact
+// code the standalone daemon runs, so fleet and standalone cascades are
+// bit-identical by construction.
+func (c *Coordinator) tryCascade(pl *fleetPlan, req *serve.ScoreRequest, parent *obs.Span) (*serve.CascadeOutcome, *serve.ScoreResult) {
+	out, fast := serve.CascadeTier1(pl.model, c.cascadePolicy, req, parent)
+	if out.Reason == serve.ReasonTier1Fault {
+		cascFailed.Inc()
+		if !c.cfg.DisableTracing {
+			wcascFailed.Inc()
+		}
+	}
+	if fast != nil {
+		cascExit.Inc()
+		if !c.cfg.DisableTracing {
+			wcascExit.Inc()
+		}
+	} else {
+		cascEsc.Inc()
+		if !c.cfg.DisableTracing {
+			wcascEsc.Inc()
+		}
+	}
+	return out, fast
+}

@@ -209,6 +209,7 @@ type fleet struct {
 	workers []*Worker
 	spools  []string
 	hosts   []string
+	dir     string
 	net     *testNet
 	clock   *fakeClock
 	bundle  *persist.Bundle
@@ -221,10 +222,17 @@ var fleetSeq atomic.Int64
 // Distribution is NOT run — tests choose when (and whether) it happens.
 func newFleet(t *testing.T, n int, mutate func(*CoordinatorConfig)) *fleet {
 	t.Helper()
+	return newFleetBundle(t, n, writeTestBundle, mutate)
+}
+
+// newFleetBundle is newFleet over any bundle writer (the cascade tests
+// need the tier-1 model in the coordinator's full bundle).
+func newFleetBundle(t *testing.T, n int, write func(t testing.TB, dir string, seed uint64) *persist.Bundle, mutate func(*CoordinatorConfig)) *fleet {
+	t.Helper()
 	obs.Reset()
 	dir := t.TempDir()
-	b := writeTestBundle(t, dir, 1)
-	f := &fleet{net: newTestNet(), clock: newFakeClock(), bundle: b}
+	b := write(t, dir, 1)
+	f := &fleet{dir: dir, net: newTestNet(), clock: newFakeClock(), bundle: b}
 	id := fleetSeq.Add(1)
 	for i := 0; i < n; i++ {
 		host := fmt.Sprintf("shard%d-%d.test:91%02d", id, i, i)

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cascade"
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/serve"
@@ -46,6 +47,12 @@ type CoordinatorConfig struct {
 	MaxBodyBytes int64
 	// DisableTracing turns off request spans and the /tracez buffer.
 	DisableTracing bool
+	// Cascade opts the coordinator into the two-tier cascade fast path:
+	// tier 1 runs on the coordinator (which owns the full bundle, cascade
+	// model included), and a high-margin request is answered without
+	// scattering a single shard RPC. Workers never see the cascade —
+	// shard bundles are split without it, like fusion.
+	Cascade serve.CascadeConfig
 	// Transport overrides the HTTP transport to workers (tests route to
 	// in-process handlers; nil = http.DefaultTransport).
 	Transport http.RoundTripper
@@ -104,10 +111,11 @@ type Coordinator struct {
 	peers []*peer
 	mux   *http.ServeMux
 
-	plan     atomic.Pointer[fleetPlan]
-	traces   *obs.TraceBuffer
-	draining atomic.Bool
-	distMu   sync.Mutex // serializes Distribute/repair
+	plan          atomic.Pointer[fleetPlan]
+	traces        *obs.TraceBuffer
+	draining      atomic.Bool
+	distMu        sync.Mutex // serializes Distribute/repair
+	cascadePolicy cascade.Policy
 }
 
 // NewCoordinator loads the full bundle and prepares the fleet clients.
@@ -123,6 +131,13 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		return nil, fmt.Errorf("cluster: coordinator has no worker peers")
 	}
 	c := &Coordinator{cfg: cfg, reg: serve.NewRegistry(cfg.ModelDir)}
+	if cfg.Cascade.Enabled {
+		pol, err := cascade.ParsePolicy(cfg.Cascade.Margin)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: cascade margin: %w", err)
+		}
+		c.cascadePolicy = pol
+	}
 	if _, err := c.reg.Reload(); err != nil {
 		return nil, fmt.Errorf("cluster: initial model load: %w", err)
 	}
@@ -196,9 +211,10 @@ type shard struct {
 	sealed   []byte
 }
 
-// splitShards cuts the bundle round-robin across the peers. Fusion is
-// stripped — only the coordinator fuses — and each shard manifest is
-// stamped with the generation and the parent bundle's SHA-256.
+// splitShards cuts the bundle round-robin across the peers. Fusion and
+// the cascade model are stripped — only the coordinator fuses, and tier
+// 1 runs coordinator-side before any shard RPC — and each shard manifest
+// is stamped with the generation and the parent bundle's SHA-256.
 func (c *Coordinator) splitShards(m *serve.Model, gen int64) ([]shard, error) {
 	assign := Assign(m.Manifest.FrontEnds, len(c.peers))
 	byName := make(map[string]persist.FrontEndModel, len(m.Bundle.FrontEnds))
@@ -227,6 +243,7 @@ func (c *Coordinator) splitShards(m *serve.Model, gen int64) ([]shard, error) {
 		mf.ClusterGeneration = gen
 		mf.BundleSHA256 = "" // recomputed by the worker's SaveBundle
 		mf.Fusion = false
+		mf.Cascade = "" // shards escalate nothing: tier 1 is coordinator-only
 		shards[i] = shard{fes: fes, manifest: mf, sealed: sealed}
 	}
 	return shards, nil
@@ -364,6 +381,15 @@ type coordTrace struct {
 	spanID string
 	start  time.Time
 	root   *obs.Span
+}
+
+// span returns the request's root span for child annotations (nil when
+// tracing is off).
+func (tr *coordTrace) span() *obs.Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.root
 }
 
 func (c *Coordinator) startTrace(w http.ResponseWriter, r *http.Request, endpoint string) *coordTrace {
@@ -565,6 +591,28 @@ func (c *Coordinator) handleScore(w http.ResponseWriter, r *http.Request) {
 		c.finishTrace(tr, "score", statusOf(w), false, nil, "no front-ends")
 		return
 	}
+	// Cascade fast path: a high-margin tier-1 decision answers here, with
+	// zero shard RPCs in flight; everything else falls through into the
+	// ordinary scatter–gather carrying its escalation outcome.
+	var casc *serve.CascadeOutcome
+	if c.cfg.Cascade.Enabled {
+		var fast *serve.ScoreResult
+		casc, fast = c.tryCascade(pl, &req, tr.span())
+		if fast != nil {
+			resp := serve.ScoreResponse{
+				ModelVersion:      pl.model.Version,
+				ClusterGeneration: pl.gen,
+				Languages:         pl.model.Bundle.Languages,
+				ScoreResult:       *fast,
+			}
+			if tr != nil {
+				resp.TraceID = tr.id
+			}
+			writeJSON(w, http.StatusOK, resp)
+			c.finishTrace(tr, "score", http.StatusOK, false, nil, "")
+			return
+		}
+	}
 	calls, err := c.planShards(pl, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -604,6 +652,7 @@ func (c *Coordinator) handleScore(w http.ResponseWriter, r *http.Request) {
 		c.finishTrace(tr, "score", statusOf(w), false, nil, err.Error())
 		return
 	}
+	result.Cascade = casc
 	resp := serve.ScoreResponse{
 		ModelVersion:      pl.model.Version,
 		ClusterGeneration: pl.gen,
@@ -673,6 +722,11 @@ func (c *Coordinator) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range gathers {
 		gathers[i] = newGather(pl.model)
 	}
+	// Cascade runs per utterance, exactly like the standalone batch path:
+	// a tier-1 exit carries its finished result straight to the response
+	// and contributes nothing to any peer's sub-batch.
+	fast := make([]*serve.ScoreResult, len(req.Utterances))
+	cascOut := make([]*serve.CascadeOutcome, len(req.Utterances))
 	var badReq error
 	type peerBatch struct {
 		call   shardCall
@@ -684,6 +738,14 @@ func (c *Coordinator) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	byPeer := make(map[*peer]*peerBatch, len(c.peers))
 	for i := range req.Utterances {
 		u := &req.Utterances[i]
+		if c.cfg.Cascade.Enabled {
+			casc, res := c.tryCascade(pl, u, tr.span())
+			if res != nil {
+				fast[i] = res
+				continue
+			}
+			cascOut[i] = casc
+		}
 		calls, err := c.planShards(pl, u)
 		if err != nil {
 			badReq = err
@@ -758,10 +820,15 @@ func (c *Coordinator) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		Results:           make([]serve.ScoreResult, len(req.Utterances)),
 	}
 	for i := range req.Utterances {
+		if fast[i] != nil {
+			resp.Results[i] = *fast[i]
+			continue
+		}
 		res, ok := gathers[i].assemble(req.Utterances[i].ID)
 		if !ok {
 			res = serve.ScoreResult{ID: req.Utterances[i].ID, Error: fmt.Sprintf("all shards failed: %v", gathers[i].firstErr())}
 		}
+		res.Cascade = cascOut[i]
 		if res.Degraded {
 			resp.Degraded = true
 			resp.DegradedCount++

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cascade"
+)
+
+func TestCascadeTinyPipelineEndToEnd(t *testing.T) {
+	p := BuildPipeline(ScaleTiny, 1)
+	m, err := p.TrainCascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FrontEnd != CascadeFrontEnd {
+		t.Fatalf("designated front-end %q", m.FrontEnd)
+	}
+	if got := len(m.Tiers); got != 3 {
+		t.Fatalf("%d tiers", got)
+	}
+
+	// Memoized: the same model object comes back.
+	m2, err := p.TrainCascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Fatal("TrainCascade retrained instead of memoizing")
+	}
+
+	// Endpoint policies: -Inf escalates everything, +Inf exits everything.
+	evInfDown, err := p.EvalCascade(m, cascade.Policy{Default: math.Inf(-1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evInfDown {
+		if ev.Exited != 0 {
+			t.Fatalf("tier %s exited %d at -Inf", ev.Tier, ev.Exited)
+		}
+		if ev.EERCascadePct != ev.EERHeavyPct {
+			t.Fatalf("tier %s: escalate-all EER %.3f differs from heavy %.3f", ev.Tier, ev.EERCascadePct, ev.EERHeavyPct)
+		}
+	}
+	evInfUp, err := p.EvalCascade(m, cascade.Policy{Default: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evInfUp {
+		if ev.Exited != ev.Total {
+			t.Fatalf("tier %s exited %d/%d at +Inf", ev.Tier, ev.Exited, ev.Total)
+		}
+	}
+
+	// Exit fraction is monotone in the threshold offset, per tier.
+	prev := map[string]float64{}
+	for _, th := range []float64{math.Inf(-1), -0.01, 0, 0.01, math.Inf(1)} {
+		evs, err := p.EvalCascade(m, cascade.Policy{Default: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			if ev.ExitFrac < prev[ev.Tier] {
+				t.Fatalf("tier %s: exit fraction fell from %.3f to %.3f at threshold %g",
+					ev.Tier, prev[ev.Tier], ev.ExitFrac, th)
+			}
+			prev[ev.Tier] = ev.ExitFrac
+		}
+	}
+
+	tb, err := p.RunCascadeTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb.String())
+	for ti, tier := range m.Tiers {
+		t.Logf("tier %s: MinPhones=%d RequiredMargin=%g tgt=(%g,%g) nt=(%g,%g) exit=%.2f acc=%.1f",
+			tier.Name, tier.MinPhones, tier.RequiredMargin, tier.TargetA, tier.TargetB,
+			tier.NontargetA, tier.NontargetB, tb.Rows[ti].ExitFrac, tb.Rows[ti].Tier1AccPct)
+	}
+}
+
+func TestCascadeBundleExportCarriesCascade(t *testing.T) {
+	p := BuildPipeline(ScaleTiny, 2)
+	b := p.BuildBundle()
+	if b.Cascade == nil {
+		t.Fatal("exported bundle has no cascade")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	man, err := p.ExportModels(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Cascade != CascadeFrontEnd {
+		t.Fatalf("manifest cascade %q", man.Cascade)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"log"
 	"time"
 
 	"repro/internal/fusion"
@@ -29,6 +30,31 @@ func (p *Pipeline) BuildBundle() *persist.Bundle {
 			OVR:       p.Baseline[q],
 		})
 	}
+	b.Fusion = p.fusionBackend()
+	// The tier-1 cascade rides along in every exported bundle (serving
+	// only uses it when -cascade is on). A pipeline that can't train one
+	// (e.g. ablations without the designated front-end) just ships
+	// without — a cascade-less bundle is the legacy format.
+	if m, err := p.TrainCascade(); err == nil {
+		b.Cascade = m
+	} else {
+		log.Printf("experiments: bundle ships without a cascade: %v", err)
+	}
+	return b
+}
+
+// fusionBackend trains (once) the bundle's trial-level fusion backend on
+// the pooled dev trials — the heavy path's decision scorer, shared by
+// BuildBundle and the cascade calibration/eval paths. Nil on a degenerate
+// dev set (never at supported scales): the server then falls back to mean
+// scores, and the cascade calibrates against that same fallback.
+func (p *Pipeline) fusionBackend() *fusion.Backend {
+	p.fusionMu.Lock()
+	defer p.fusionMu.Unlock()
+	if p.fusionTrained {
+		return p.fusionBk
+	}
+	p.fusionTrained = true
 	var devX [][]float64
 	var devY []int
 	for i := range p.DevLabels {
@@ -45,12 +71,10 @@ func (p *Pipeline) BuildBundle() *persist.Bundle {
 			}
 		}
 	}
-	// A degenerate dev set (never at supported scales) just means the
-	// bundle ships without fusion; the server falls back to mean scores.
 	if bk, err := fusion.Train(devX, devY, 2, fusion.DefaultConfig()); err == nil {
-		b.Fusion = bk
+		p.fusionBk = bk
 	}
-	return b
+	return p.fusionBk
 }
 
 // ExportModels writes the pipeline's serving bundle plus a provenance

@@ -106,3 +106,28 @@ func TestGoldenMediumSeed42(t *testing.T) {
 	check("Headline", t4.Summary())
 	check("Vote ablation", RunVoteAblation(p, 3).String())
 }
+
+// TestGoldenCascadeMediumSeed42 pins the cascade tradeoff table (exit
+// fraction, tier-1 exit accuracy, and EER per duration tier at the
+// default threshold) next to the paper tables — the committed operating
+// point the BENCH_cascade.json acceptance numbers come from. Same
+// tolerance contract as TestGoldenMediumSeed42: ±0.05 on numeric tokens.
+func TestGoldenCascadeMediumSeed42(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale pipeline (~1 min): skipped in -short")
+	}
+	data, err := os.ReadFile("../../results_medium_seed42.txt")
+	if err != nil {
+		t.Fatalf("golden file missing: %v", err)
+	}
+	golden := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+
+	p := BuildPipeline(ScaleMedium, 42)
+	tb, err := p.RunCascadeTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	want := goldenSection(t, golden, lines[0], len(lines))
+	compareTokens(t, "Cascade", lines, want)
+}

@@ -12,9 +12,11 @@ import (
 	"log"
 	"sync"
 
+	"repro/internal/cascade"
 	"repro/internal/corpus"
 	"repro/internal/dba"
 	"repro/internal/frontend"
+	"repro/internal/fusion"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -123,6 +125,19 @@ type Pipeline struct {
 
 	mu       sync.Mutex
 	outcomes map[outcomeKey]*dba.Outcome
+
+	// Cascade state (internal/cascade): the designated front-end's 1-best
+	// decodes and the trained tier-1 model, both memoized — BuildBundle,
+	// the golden table, and the bench share one model. fusionBk memoizes
+	// the dev-trained fusion backend BuildBundle ships (the heavy path's
+	// decision scorer, also needed for cascade calibration).
+	cascadeMu      sync.Mutex
+	cascadeSeq     *cascadeSeqs
+	cascadeModelMu sync.Mutex
+	cascadeModel   *cascade.Model
+	fusionMu       sync.Mutex
+	fusionTrained  bool
+	fusionBk       *fusion.Backend
 }
 
 type outcomeKey struct {

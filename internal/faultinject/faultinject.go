@@ -26,6 +26,8 @@
 //	serve.batch            batch dispatch — queue pressure (delay/panic)
 //	serve.score.fe.<name>  one front-end's scoring pass (error/panic)
 //	serve.reload           model registry reload (error)
+//	cascade.tier1          cascade tier-1 scoring (error/panic → transparent
+//	                       escalation to the heavy path, never a 5xx)
 //
 // Cluster sites (the coordinator hits one per shard RPC — scoring,
 // bundle push, and health probe alike; internal/cluster):

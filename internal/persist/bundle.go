@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cascade"
 	"repro/internal/fusion"
 	"repro/internal/ngram"
 	"repro/internal/svm"
@@ -44,6 +45,13 @@ type Bundle struct {
 	Languages []string
 	FrontEnds []FrontEndModel
 	Fusion    *fusion.Backend
+	// Cascade is the optional tier-1 fast-path artifact (designated
+	// front-end PRLM + per-duration-tier exit policy; see
+	// internal/cascade). Nil when the bundle was exported without one —
+	// gob leaves absent fields nil, so legacy bundles load with the
+	// cascade disabled. The cascade model carries its own format version,
+	// checked by Validate.
+	Cascade *cascade.Model
 }
 
 // Validate checks the internal consistency a scoring process relies on.
@@ -75,6 +83,29 @@ func (b *Bundle) Validate() error {
 				fe.Name, fe.OVR.NumClasses, len(b.Languages))
 		}
 	}
+	if c := b.Cascade; c != nil {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if len(c.LM.Models) != len(b.Languages) {
+			return fmt.Errorf("persist: cascade scores %d languages, bundle lists %d",
+				len(c.LM.Models), len(b.Languages))
+		}
+		found := false
+		for i := range b.FrontEnds {
+			if b.FrontEnds[i].Name == c.FrontEnd {
+				if b.FrontEnds[i].NumPhones != c.NumPhones {
+					return fmt.Errorf("persist: cascade front-end %q has %d phones, bundle's has %d",
+						c.FrontEnd, c.NumPhones, b.FrontEnds[i].NumPhones)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("persist: cascade names front-end %q, not in the bundle", c.FrontEnd)
+		}
+	}
 	return nil
 }
 
@@ -91,7 +122,10 @@ type Manifest struct {
 	FrontEnds    []string `json:"front_ends"`
 	NumLanguages int      `json:"num_languages"`
 	Fusion       bool     `json:"fusion"`
-	BundleFile   string   `json:"bundle_file"`
+	// Cascade names the tier-1 fast path's designated front-end when the
+	// bundle carries a cascade model; empty otherwise.
+	Cascade    string `json:"cascade,omitempty"`
+	BundleFile string `json:"bundle_file"`
 	// BundleSHA256 is the hex SHA-256 of the complete (sealed) bundle
 	// file, recorded at export time; LoadBundle re-verifies it, so a
 	// manifest/bundle mismatch (partial copy, wrong file swapped in) is
@@ -129,6 +163,10 @@ func SaveBundle(dir string, b *Bundle, m Manifest) error {
 	}
 	m.NumLanguages = len(b.Languages)
 	m.Fusion = b.Fusion != nil
+	m.Cascade = ""
+	if b.Cascade != nil {
+		m.Cascade = b.Cascade.FrontEnd
+	}
 	sealed, err := MarshalSealed(b)
 	if err != nil {
 		return err

@@ -1,0 +1,182 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/rng"
+)
+
+// cascadeFor trains a tiny tier-1 model compatible with trainedBundle's
+// fixture (4 phones, 3 languages, front-end "FEA").
+func cascadeFor(t *testing.T, b *Bundle) *cascade.Model {
+	t.Helper()
+	r := rng.New(11)
+	numPhones := b.FrontEnds[0].NumPhones
+	gen := func(lang, length int) []int {
+		seq := make([]int, length)
+		for i := range seq {
+			if r.Float64() < 0.75 {
+				seq[i] = lang % numPhones
+			} else {
+				seq[i] = r.Intn(numPhones)
+			}
+		}
+		return seq
+	}
+	train := make([][][]int, len(b.Languages))
+	var dev []cascade.DevExample
+	for k := range b.Languages {
+		for i := 0; i < 12; i++ {
+			train[k] = append(train[k], gen(k, 50))
+		}
+		for i := 0; i < 8; i++ {
+			dev = append(dev, cascade.DevExample{Seq: gen(k, 60), Label: k, Tier: 0})
+			dev = append(dev, cascade.DevExample{Seq: gen(k, 10), Label: k, Tier: 1})
+		}
+	}
+	m, err := cascade.Train(b.FrontEnds[0].Name, numPhones, train, []string{"30s", "3s"}, dev, cascade.TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBundleCascadeRoundTrip(t *testing.T) {
+	b, _ := trainedBundle(t, 7)
+	b.Cascade = cascadeFor(t, b)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, b, Manifest{Seed: 7, Scale: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	lb, m, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cascade != b.Cascade.FrontEnd {
+		t.Fatalf("manifest cascade %q, want %q", m.Cascade, b.Cascade.FrontEnd)
+	}
+	if lb.Cascade == nil {
+		t.Fatal("cascade lost in round trip")
+	}
+	if err := lb.Cascade.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Decisions — scores, margins, tier assignment, exits — must be
+	// bit-identical after the round trip at several thresholds.
+	r := rng.New(13)
+	for trial := 0; trial < 20; trial++ {
+		seq := make([]int, 5+r.Intn(70))
+		for i := range seq {
+			seq[i] = r.Intn(b.Cascade.NumPhones)
+		}
+		for _, th := range []float64{math.Inf(-1), -0.1, 0, 0.1, math.Inf(1)} {
+			want := b.Cascade.Decide(seq, th)
+			got := lb.Cascade.Decide(seq, th)
+			if want.Exit != got.Exit || want.Tier != got.Tier || want.Margin != got.Margin ||
+				want.Required != got.Required || want.Best != got.Best || want.Reason != got.Reason {
+				t.Fatalf("decision differs after round trip: %+v vs %+v", want, got)
+			}
+			for k := range want.Scores {
+				if want.Scores[k] != got.Scores[k] {
+					t.Fatalf("tier-1 scores differ after round trip")
+				}
+			}
+		}
+	}
+}
+
+// A bundle saved without a cascade — the pre-cascade format — must load
+// with the cascade disabled (nil), not error: the gob layout is purely
+// additive.
+func TestBundleWithoutCascadeLoadsDisabled(t *testing.T) {
+	b, _ := trainedBundle(t, 8)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, b, Manifest{Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	lb, m, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.Cascade != nil {
+		t.Fatal("cascade materialized out of nowhere")
+	}
+	if m.Cascade != "" {
+		t.Fatalf("manifest cascade %q for a cascade-less bundle", m.Cascade)
+	}
+}
+
+// Torn-tail detection must keep working on the extended (cascade-bearing)
+// bundle image: the integrity footer covers the whole gob stream.
+func TestBundleCascadeTornTailIsErrCorrupt(t *testing.T) {
+	b, _ := trainedBundle(t, 9)
+	b.Cascade = cascadeFor(t, b)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, b, Manifest{Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "bundle.gob")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The manifest SHA-256 catches it first; strip the cross-check to
+	// prove the file's own footer also does.
+	mpath := filepath.Join(dir, ManifestName)
+	mdata, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(mdata, &raw); err != nil {
+		t.Fatal(err)
+	}
+	delete(raw, "bundle_sha256")
+	stripped, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpath, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadBundle(dir)
+	if err == nil {
+		t.Fatal("torn cascade bundle loaded")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBundleValidateCascadeConsistency(t *testing.T) {
+	b, _ := trainedBundle(t, 10)
+	c := cascadeFor(t, b)
+
+	b.Cascade = &cascade.Model{}
+	*b.Cascade = *c
+	b.Cascade.FrontEnd = "NOPE"
+	if err := b.Validate(); err == nil {
+		t.Fatal("cascade naming an unknown front-end accepted")
+	}
+
+	*b.Cascade = *c
+	b.Cascade.NumPhones = c.NumPhones + 1
+	if err := b.Validate(); err == nil {
+		t.Fatal("cascade phone-inventory mismatch accepted")
+	}
+
+	*b.Cascade = *c
+	b.Cascade.LM.Models = b.Cascade.LM.Models[:2]
+	if err := b.Validate(); err == nil {
+		t.Fatal("cascade language-count mismatch accepted")
+	}
+}

@@ -76,6 +76,11 @@ type ScoreResult struct {
 	// FrontEndErrors maps each failed front-end to its error.
 	FrontEndErrors map[string]string `json:"frontend_errors,omitempty"`
 	Error          string            `json:"error,omitempty"`
+	// Cascade reports the two-tier cascade decision when the server runs
+	// with -cascade (absent otherwise). On a tier-1 exit, Fused carries
+	// the calibrated tier-1 decision row (heavy fused-score scale) and
+	// Scores is empty — no front-end battery ran.
+	Cascade *CascadeOutcome `json:"cascade,omitempty"`
 }
 
 // ScoreResponse is the body of a successful POST /v1/score. TraceID is

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cascade"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// CascadeConfig opts the server into the two-tier scoring cascade
+// (DESIGN.md "Cascade serving"): requests whose tier-1 PRLM margin clears
+// the bundle's calibrated per-tier bar are answered from the cheap path
+// without touching the supervector/SVM machinery; everything else
+// escalates to the full battery unchanged.
+type CascadeConfig struct {
+	// Enabled turns the fast path on. With a bundle that carries no
+	// cascade model every request escalates (reason "no_cascade_model") —
+	// enabling the cascade never makes a deployment less available.
+	Enabled bool
+	// Margin is the threshold-offset policy spec (cascade.ParsePolicy): a
+	// bare offset ("0.05", "-inf", "+inf") or per-tier overrides
+	// ("default=0;30s=0.1"). Empty means offset 0 — the calibrated
+	// per-tier margins as-is. "-inf" escalates everything (bit-identical
+	// to a cascade-less server); "+inf" answers everything at tier 1.
+	Margin string
+}
+
+// Serve-layer escalation reasons, complementing the policy's
+// cascade.ReasonHighMargin/ReasonLowMargin: requests tier 1 never scored.
+const (
+	// ReasonNoCascadeModel: the loaded bundle carries no cascade model.
+	ReasonNoCascadeModel = "no_cascade_model"
+	// ReasonNoTier1Input: the request has no lattice for the cascade's
+	// designated front-end (supervector-only or absent), so there is no
+	// 1-best to score.
+	ReasonNoTier1Input = "no_tier1_input"
+	// ReasonTier1Fault: tier 1 errored or panicked; the request degraded
+	// to a transparent escalation (never a 5xx).
+	ReasonTier1Fault = "tier1_fault"
+)
+
+// CascadeOutcome reports the cascade decision on a ScoreResult when the
+// server runs with the cascade enabled (absent otherwise).
+type CascadeOutcome struct {
+	// Exited is true when tier 1 answered the request.
+	Exited bool `json:"exited"`
+	// Tier is the duration tier the policy assigned (by 1-best length);
+	// empty when tier 1 never scored the request.
+	Tier string `json:"tier,omitempty"`
+	// Reason is the decision code: high_margin, low_margin,
+	// no_cascade_model, no_tier1_input, or tier1_fault.
+	Reason string `json:"reason"`
+	// Margin is the tier-1 best-vs-second-best LLR gap (zero when tier 1
+	// never scored).
+	Margin float64 `json:"margin,omitempty"`
+}
+
+// Cascade counters and per-path latency windows. Exit/escalate partition
+// every scoring request of a cascade-enabled server; tier1.failed counts
+// transparent fault-escalations (a subset of escalate). The two latency
+// histograms split the /v1/score request latency by path — the observable
+// the BENCH_cascade.json speedup claims are checked against in
+// production.
+var (
+	cascExit    = obs.GetCounter("serve.cascade.exit")
+	wcascExit   = obs.GetWindowCounter("serve.cascade.exit")
+	cascEsc     = obs.GetCounter("serve.cascade.escalate")
+	wcascEsc    = obs.GetWindowCounter("serve.cascade.escalate")
+	cascFailed  = obs.GetCounter("serve.cascade.tier1.failed")
+	wcascFailed = obs.GetWindowCounter("serve.cascade.tier1.failed")
+	cascT1Lat   = obs.GetHistogram("serve.cascade.tier1.seconds")
+	wcascT1Lat  = obs.GetWindow("serve.cascade.tier1.seconds")
+	cascEscLat  = obs.GetHistogram("serve.cascade.escalated.seconds")
+	wcascEscLat = obs.GetWindow("serve.cascade.escalated.seconds")
+	// cascEscDegraded counts escalated requests whose heavy result came
+	// back degraded — the per-tier degradation split (tier-1 exits never
+	// degrade: they touch no front-end battery).
+	cascEscDegraded  = obs.GetCounter("serve.cascade.escalated.degraded")
+	wcascEscDegraded = obs.GetWindowCounter("serve.cascade.escalated.degraded")
+)
+
+// noteCascadeExit / noteCascadeEscalate fold one request into the
+// cascade accounting. d < 0 skips the latency histograms (batch
+// utterances share dispatch, so a per-utterance wall time would price
+// batch-mates' work; only the counters are meaningful there).
+func (s *Server) noteCascadeExit(d time.Duration) {
+	cascExit.Inc()
+	if d >= 0 {
+		cascT1Lat.Observe(d.Seconds())
+	}
+	if !s.cfg.DisableTracing {
+		wcascExit.Inc()
+		if d >= 0 {
+			wcascT1Lat.Observe(d.Seconds())
+		}
+	}
+}
+
+func (s *Server) noteCascadeEscalate(d time.Duration, degraded bool) {
+	cascEsc.Inc()
+	if d >= 0 {
+		cascEscLat.Observe(d.Seconds())
+	}
+	if degraded {
+		cascEscDegraded.Inc()
+	}
+	if !s.cfg.DisableTracing {
+		wcascEsc.Inc()
+		if d >= 0 {
+			wcascEscLat.Observe(d.Seconds())
+		}
+		if degraded {
+			wcascEscDegraded.Inc()
+		}
+	}
+}
+
+func (s *Server) noteCascadeFault() {
+	cascFailed.Inc()
+	if !s.cfg.DisableTracing {
+		wcascFailed.Inc()
+	}
+}
+
+// tryCascade runs tier 1 on one utterance under the server's policy and
+// folds the fault accounting in. It returns the outcome (never nil) and,
+// on a tier-1 exit, the finished result.
+func (s *Server) tryCascade(m *Model, req *ScoreRequest, parent *obs.Span) (*CascadeOutcome, *ScoreResult) {
+	out, fast := CascadeTier1(m, s.cascadePolicy, req, parent)
+	if out.Reason == ReasonTier1Fault {
+		s.noteCascadeFault()
+	}
+	return out, fast
+}
+
+// CascadeTier1 runs the tier-1 decision for one utterance against a
+// loaded model under pol. Any tier-1 error or panic — including injected
+// faults at the "cascade.tier1" chaos site — degrades to a transparent
+// escalation: the caller proceeds down the heavy path exactly as if the
+// cascade were disabled, and the fault is visible only in the outcome's
+// reason (ReasonTier1Fault — the caller owns the failure counter) and
+// the trace span.
+//
+// Exported because the cluster coordinator (internal/cluster) runs the
+// identical decision before scattering any shard RPC: a tier-1 exit
+// answers from the coordinator alone, so the fast path's latency win
+// compounds with the saved fan-out.
+func CascadeTier1(m *Model, pol cascade.Policy, req *ScoreRequest, parent *obs.Span) (*CascadeOutcome, *ScoreResult) {
+	out := &CascadeOutcome{Reason: ReasonNoCascadeModel}
+	cm := m.Bundle.Cascade
+	if cm == nil {
+		return out, nil
+	}
+	in, ok := req.FrontEnds[cm.FrontEnd]
+	if !ok || in.Lattice == nil {
+		out.Reason = ReasonNoTier1Input
+		return out, nil
+	}
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.StartChild("cascade.tier1")
+	}
+	d, err := decideTier1(cm, pol, in.Lattice)
+	if err != nil {
+		out.Reason = ReasonTier1Fault
+		if sp != nil {
+			sp.SetLabel("error", err.Error())
+			sp.End()
+		}
+		escalateSpan(parent, out)
+		return out, nil
+	}
+	out.Tier, out.Margin, out.Reason, out.Exited = d.Tier, d.Margin, d.Reason, d.Exit
+	if sp != nil {
+		sp.SetLabel("tier", d.Tier)
+		sp.SetLabel("reason", d.Reason)
+		sp.SetLabel("margin", fmt.Sprintf("%.4f", d.Margin))
+		sp.End()
+	}
+	if !d.Exit {
+		escalateSpan(parent, out)
+		return out, nil
+	}
+	return out, &ScoreResult{
+		ID:      req.ID,
+		Best:    m.Bundle.Languages[d.Best],
+		Fused:   d.Scores,
+		Cascade: out,
+	}
+}
+
+// decideTier1 is the fault-isolated tier-1 scoring step: 1-best decode of
+// the designated front-end's lattice, PRLM scoring, and the margin
+// policy. Panics are converted to errors so a broken tier 1 can never
+// take down a request the heavy path would have served.
+func decideTier1(cm *cascade.Model, pol cascade.Policy, slots [][]Slot) (d cascade.Decision, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("tier-1 panic: %v", r)
+		}
+	}()
+	// Chaos hook: error faults exercise the transparent-escalation path,
+	// panic faults the recovery above.
+	if err := faultinject.At("cascade.tier1"); err != nil {
+		return d, err
+	}
+	l, err := latticeFromSlots(slots, cm.NumPhones)
+	if err != nil {
+		// Malformed lattices escalate; the heavy path rejects them with
+		// the canonical 400 so error texts stay identical either way.
+		return d, err
+	}
+	seq, _ := l.BestPath()
+	th := pol.Threshold(cm.Tiers[cm.TierFor(len(seq))].Name)
+	return cm.Decide(seq, th), nil
+}
+
+// escalateSpan marks an escalation in the request trace.
+func escalateSpan(parent *obs.Span, out *CascadeOutcome) {
+	if parent == nil {
+		return
+	}
+	sp := parent.StartChild("cascade.escalate")
+	sp.SetLabel("reason", out.Reason)
+	sp.End()
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cascade"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
@@ -42,6 +43,8 @@ type Config struct {
 	MaxBodyBytes int64
 	// Reload governs reload retry/backoff and the circuit breaker.
 	Reload ReloadPolicy
+	// Cascade opts into the two-tier scoring cascade (see cascade.go).
+	Cascade CascadeConfig
 
 	// AccessLog receives sampled JSON access-log lines, one object per
 	// line (nil: access logging off).
@@ -99,6 +102,10 @@ type Server struct {
 	accessLog *accessLogger
 	draining  atomic.Bool
 	inflight  atomic.Int64
+
+	// cascadePolicy is the parsed threshold-offset policy; read-only
+	// after New. Meaningful only when cfg.Cascade.Enabled.
+	cascadePolicy cascade.Policy
 }
 
 // New loads the bundle and starts the batching dispatcher. The returned
@@ -110,6 +117,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: no model directory configured")
 	}
 	s := &Server{cfg: cfg, reg: NewRegistry(cfg.ModelDir)}
+	if cfg.Cascade.Enabled {
+		pol, err := cascade.ParsePolicy(cfg.Cascade.Margin)
+		if err != nil {
+			return nil, fmt.Errorf("serve: cascade margin: %w", err)
+		}
+		s.cascadePolicy = pol
+	}
 	if _, err := s.reg.Reload(); err != nil && !cfg.WaitForModel {
 		return nil, fmt.Errorf("serve: initial model load: %w", err)
 	}
@@ -437,6 +451,34 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Cascade fast path: a confident tier-1 answer returns here without
+	// touching the batcher or the SVM battery. Escalations (including
+	// tier-1 faults) fall through to the heavy path unchanged, carrying
+	// the outcome for the response.
+	var casc *CascadeOutcome
+	cascStart := time.Now()
+	if s.cfg.Cascade.Enabled {
+		var fast *ScoreResult
+		var parent *obs.Span
+		if tr != nil {
+			parent = tr.root
+		}
+		casc, fast = s.tryCascade(m, &req, parent)
+		if fast != nil {
+			s.noteCascadeExit(time.Since(cascStart))
+			resp := ScoreResponse{
+				ModelVersion:      m.Version,
+				ClusterGeneration: m.ClusterGeneration(),
+				Languages:         m.Bundle.Languages,
+				ScoreResult:       *fast,
+			}
+			if tr != nil {
+				resp.TraceID = tr.id
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	j, status, err := s.submit(ctx, m, req.ID, &req, jobSpan)
@@ -478,6 +520,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if fsp != nil {
 		fsp.End()
 	}
+	if casc != nil {
+		result.Cascade = casc
+		s.noteCascadeEscalate(time.Since(cascStart), result.Degraded)
+	}
 	tr.noteResult(j, &result)
 	resp := ScoreResponse{
 		ModelVersion:      m.Version,
@@ -517,12 +563,28 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	// the fan-out: queue wait and per-front-end scoring per utterance.
 	jobs := make([]*job, len(req.Utterances))
 	results := make([]ScoreResult, len(req.Utterances))
+	cascOut := make([]*CascadeOutcome, len(req.Utterances))
 	for i := range req.Utterances {
 		u := &req.Utterances[i]
 		var uttSpan *obs.Span
 		if tr != nil {
 			uttSpan = tr.root.StartChild("utt")
 			uttSpan.SetLabel("id", u.ID)
+		}
+		// Cascade fast path, per utterance: a tier-1 exit finishes the
+		// utterance without a batcher submit; escalations fall through
+		// and carry their outcome onto the heavy result.
+		if s.cfg.Cascade.Enabled {
+			casc, fast := s.tryCascade(m, u, uttSpan)
+			if fast != nil {
+				s.noteCascadeExit(-1)
+				results[i] = *fast
+				if uttSpan != nil {
+					uttSpan.End()
+				}
+				continue
+			}
+			cascOut[i] = casc
 		}
 		j, _, err := s.submit(ctx, m, u.ID, u, uttSpan)
 		if err != nil {
@@ -556,6 +618,10 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 			if fsp != nil {
 				fsp.End()
 			}
+		}
+		if cascOut[i] != nil {
+			results[i].Cascade = cascOut[i]
+			s.noteCascadeEscalate(-1, results[i].Degraded)
 		}
 		tr.noteResult(j, &results[i])
 		if j.span != nil {
