@@ -43,6 +43,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -60,7 +61,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/scorefile"
+	"repro/internal/svm"
 	"repro/internal/synthlang"
 )
 
@@ -84,6 +87,9 @@ func main() {
 		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this path")
 		pprofMem   = flag.String("pprof-mem", "", "write a heap profile at end of run to this path")
 		benchHot   = flag.String("bench-hotpath", "", "run the hot-path before/after benchmark protocol and write the JSON report to this path (see EXPERIMENTS.md)")
+		compEval   = flag.String("compress-eval", "", "run the rank × precision compression sweep (size, load time, throughput, fused ΔEER) and write the JSON report (BENCH_compress.json) to this path")
+		compRank   = flag.Int("compress-rank", 0, "with -export-models: export a compressed bundle at this projection rank (0 = uncompressed)")
+		compPrec   = flag.String("compress-precision", "int8", "with -compress-rank: packed basis/kernel precision: float64|float32|int8")
 		cascEval   = flag.String("cascade-eval", "", "train the tier-1 cascade, sweep thresholds, and write the accuracy/latency/traffic tradeoff curve JSON (BENCH_cascade.json) to this path")
 		cascMargin = flag.String("cascade-margin", "", "threshold offset policy for -cascade-eval's default operating point, e.g. \"0\" or \"default=0;30s=0.05\" (empty = calibrated margins as-is)")
 		ckDir      = flag.String("checkpoint-dir", "", "checkpoint directory: phase results are saved here and (with -resume) restored")
@@ -105,7 +111,7 @@ func main() {
 		runBenchHotpath(*benchHot)
 		return
 	}
-	if *table == "" && *fig == "" && *ablation == "" && *exportDir == "" && *cascEval == "" {
+	if *table == "" && *fig == "" && *ablation == "" && *exportDir == "" && *cascEval == "" && *compEval == "" {
 		*table = "all"
 	}
 
@@ -126,13 +132,25 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Compression flags fail fast, before the (potentially minutes-long)
+	// pipeline build.
+	if *compRank < 0 {
+		log.Fatalf("-compress-rank %d: rank must be >= 0 (0 = uncompressed)", *compRank)
+	}
+	if *compRank > 0 || *compEval != "" {
+		if _, perr := svm.ParsePrecision(*compPrec); perr != nil {
+			log.Fatal(perr)
+		}
+	}
+
 	wantTable := func(n string) bool {
 		return *table == "all" || *table == n ||
 			strings.Contains(","+*table+",", ","+n+",")
 	}
 	needPipeline := wantTable("1") || wantTable("2") || wantTable("3") ||
 		wantTable("4") || *fig == "3" || *ablation != "" || *scoresOut != "" ||
-		*iterate > 0 || *openset > 0 || *exportDir != "" || *cascEval != ""
+		*iterate > 0 || *openset > 0 || *exportDir != "" || *cascEval != "" ||
+		*compEval != ""
 
 	var ck *experiments.Checkpointer
 	var store *checkpoint.Store
@@ -214,12 +232,46 @@ func main() {
 		log.Printf("wrote score file %s", *scoresOut)
 	}
 	if *exportDir != "" {
-		m, err := p.ExportModels(*exportDir, gitDescribe())
+		var m *persist.Manifest
+		if *compRank > 0 {
+			prec, perr := svm.ParsePrecision(*compPrec)
+			if perr != nil {
+				log.Fatal(perr)
+			}
+			m, err = p.ExportModelsCompressed(*exportDir, gitDescribe(), *compRank, prec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("exported compressed bundle to %s: %d front-ends, rank %d, precision %s",
+				*exportDir, len(m.FrontEnds), *compRank, prec)
+		} else {
+			m, err = p.ExportModels(*exportDir, gitDescribe())
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("exported bundle to %s: %d front-ends, %d languages, fusion=%v, cascade=%q",
+				*exportDir, len(m.FrontEnds), m.NumLanguages, m.Fusion, m.Cascade)
+		}
+	}
+	if *compEval != "" {
+		rep, err := experiments.RunCompressEval(p, nil, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("exported bundle to %s: %d front-ends, %d languages, fusion=%v, cascade=%q",
-			*exportDir, len(m.FrontEnds), m.NumLanguages, m.Fusion, m.Cascade)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*compEval, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if rep.Headline != nil {
+			log.Printf("compress-eval: headline rank=%d precision=%s size=%.1fx speedup=%.2fx max|ΔEER|=%.2f → %s",
+				rep.Headline.Rank, rep.Headline.Precision, rep.Headline.SizeReduction,
+				rep.Headline.Speedup, rep.Headline.MaxAbsDeltaEER, *compEval)
+		} else {
+			log.Printf("compress-eval: no operating point met the headline criteria → %s", *compEval)
+		}
 	}
 	if *cascEval != "" {
 		if err := runCascadeEval(p, *cascMargin, *cascEval); err != nil {

@@ -23,6 +23,25 @@ func render(rep *obs.Report, target string) string {
 		fmt.Fprintf(&b, "   front-ends %s", fes)
 	}
 	b.WriteByte('\n')
+
+	// Model footprint: present once a bundle has been loaded (the
+	// registry publishes its on-disk and packed-weight sizes at Reload).
+	// Compressed bundles additionally carry precision and rank.
+	if bb, ok := rep.Gauges["serve.model.bundle_bytes"]; ok {
+		prec := rep.Meta["model_precision"]
+		if prec == "" {
+			prec = "float64"
+		}
+		fmt.Fprintf(&b, "model %s", prec)
+		if r := rep.Meta["model_rank"]; r != "" {
+			fmt.Fprintf(&b, " rank %s", r)
+		} else {
+			b.WriteString(" full-rank")
+		}
+		fmt.Fprintf(&b, " — bundle %s (packed weights %s)\n",
+			bytesHuman(bb), bytesHuman(rep.Gauges["serve.model.packed_bytes"]))
+	}
+
 	fmt.Fprintf(&b, "queue depth %s   inflight %s   draining %s\n\n",
 		fmtGauge(rep.Gauges, "serve.queue.depth"),
 		fmtGauge(rep.Gauges, "serve.http.inflight"),
@@ -157,6 +176,18 @@ func shardRows(gauges map[string]float64) []string {
 	}
 	sort.Strings(hosts)
 	return hosts
+}
+
+// bytesHuman renders a byte count with adaptive binary units.
+func bytesHuman(n float64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", n/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", n/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", n)
+	}
 }
 
 // ms renders a seconds quantity as adaptive-precision milliseconds.

@@ -227,6 +227,40 @@ func TestRenderNoCascadeRowWithoutTraffic(t *testing.T) {
 	}
 }
 
+// TestRenderModelPanel pins the model footprint line: precision, rank,
+// bundle and packed-weight sizes from the serve.model.* gauges and
+// /metricsz meta — shown only once a bundle has actually loaded.
+func TestRenderModelPanel(t *testing.T) {
+	rep := sampleReport()
+	rep.Meta["model_precision"] = "int8"
+	rep.Meta["model_rank"] = "16"
+	rep.Gauges["serve.model.bundle_bytes"] = 734003
+	rep.Gauges["serve.model.packed_bytes"] = 412000
+	out := render(rep, "http://x")
+	for _, want := range []string{
+		"model int8 rank 16",
+		"bundle 716.8 KiB",
+		"packed weights 402.3 KiB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("model panel missing %q:\n%s", want, out)
+		}
+	}
+
+	// An uncompressed bundle: no precision/rank meta, full-rank label.
+	rep2 := sampleReport()
+	rep2.Gauges["serve.model.bundle_bytes"] = 4.5 * (1 << 20)
+	out2 := render(rep2, "http://x")
+	if !strings.Contains(out2, "model float64 full-rank — bundle 4.50 MiB") {
+		t.Errorf("uncompressed model line missing:\n%s", out2)
+	}
+
+	// No bundle loaded yet: the line is absent entirely.
+	if out3 := render(sampleReport(), "http://x"); strings.Contains(out3, "model float64") {
+		t.Errorf("model line rendered without a loaded bundle:\n%s", out3)
+	}
+}
+
 func TestMsFormatting(t *testing.T) {
 	cases := map[float64]string{
 		0:      "—",

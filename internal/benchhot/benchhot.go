@@ -78,6 +78,14 @@ func entry(name, desc string, before, after testing.BenchmarkResult) Entry {
 	return e
 }
 
+// Bench exposes the min-of-3 protocol to other benchmark harnesses
+// (the compress-eval sweep measures its throughput points with the same
+// discipline as the hot-path report).
+func Bench(f func(b *testing.B)) testing.BenchmarkResult { return bench(f) }
+
+// MetricOf converts a benchmark result to the report metric form.
+func MetricOf(res testing.BenchmarkResult) Metric { return metricOf(res) }
+
 // bench runs f under testing.Benchmark three times and keeps the run
 // with the lowest ns/op. Allocation stats are deterministic across runs;
 // wall time on a busy single-core box is not, and min-of-N is the

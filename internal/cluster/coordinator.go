@@ -242,8 +242,16 @@ func (c *Coordinator) splitShards(m *serve.Model, gen int64) ([]shard, error) {
 		mf.ShardOf = m.Manifest.BundleSHA256
 		mf.ClusterGeneration = gen
 		mf.BundleSHA256 = "" // recomputed by the worker's SaveBundle
-		mf.Fusion = false
-		mf.Cascade = "" // shards escalate nothing: tier 1 is coordinator-only
+		// Restamp the contents summary for the shard's cut: fresh slices
+		// first (the copy above shares backing arrays with the parent
+		// manifest), then the sub-bundle's own front-end list and
+		// feature-space geometry — the worker checks its loaded bundle
+		// against these dims, so they must describe the shard, not the
+		// parent. Fusion/cascade are stripped with the bundle: shards
+		// escalate nothing, tier 1 and fusion are coordinator-only.
+		mf.FrontEnds = nil
+		mf.FrontEndDims = nil
+		mf.StampContents(sub)
 		shards[i] = shard{fes: fes, manifest: mf, sealed: sealed}
 	}
 	return shards, nil

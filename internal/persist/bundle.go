@@ -11,6 +11,8 @@ import (
 	"repro/internal/cascade"
 	"repro/internal/fusion"
 	"repro/internal/ngram"
+	"repro/internal/proj"
+	"repro/internal/sparse"
 	"repro/internal/svm"
 )
 
@@ -35,7 +37,86 @@ type FrontEndModel struct {
 	Order     int
 	// TFLLR is nil when background scaling was disabled at training time.
 	TFLLR *ngram.TFLLR
-	OVR   *svm.OneVsRest
+	// OVR holds the float64 one-vs-rest models. In a compressed int8
+	// bundle it is nil — Quant replaces it — and in a projected
+	// float64/float32 bundle its weights live in the rank-r space (so
+	// they are tiny; the basis in Proj dominates). All three compression
+	// fields are gob-additive: bundles written before they existed decode
+	// with them nil and score exactly as they always did.
+	OVR *svm.OneVsRest
+	// Proj, when non-nil, is the trained low-rank projection applied to
+	// TFLLR-scaled supervectors before scoring; the weight space is then
+	// Proj.Rank-dimensional.
+	Proj *proj.Packed
+	// Quant is the int8 quantized scoring kernel (precision "int8"); the
+	// bundle then ships no float64 weights for this front-end.
+	Quant *svm.Quantized
+	// Precision is the scoring precision ("" or "float64", "float32",
+	// "int8") the bundle was exported for; the serve layer dispatches the
+	// packed kernel on it.
+	Precision string
+}
+
+// SpaceDim returns the raw supervector dimensionality of the front-end's
+// n-gram space (what a request's supervector indices are checked
+// against, whether or not the bundle projects).
+func (fe *FrontEndModel) SpaceDim() int {
+	return ngram.NewSpace(fe.NumPhones, fe.Order).Dim()
+}
+
+// WeightDim returns the dimensionality of the scoring weight space:
+// Proj.Rank for projected bundles, the raw space dimension otherwise.
+func (fe *FrontEndModel) WeightDim() int {
+	if fe.Proj != nil {
+		return fe.Proj.Rank
+	}
+	return fe.SpaceDim()
+}
+
+// NumClasses returns how many languages the front-end scores.
+func (fe *FrontEndModel) NumClasses() int {
+	if fe.Quant != nil {
+		return fe.Quant.NumClasses
+	}
+	if fe.OVR != nil {
+		return fe.OVR.NumClasses
+	}
+	return 0
+}
+
+// ScoresInto scores a supervector already in the front-end's weight
+// space (projected if Proj is set) against every language, dispatching
+// on the bundle's precision: the int8 kernel when Quant is present,
+// otherwise the float64/float32 packed OVR kernel. out must have
+// NumClasses elements.
+func (fe *FrontEndModel) ScoresInto(x *sparse.Vector, out []float64) []float64 {
+	if fe.Quant != nil {
+		return fe.Quant.ScoresInto(x, out)
+	}
+	prec, err := svm.ParsePrecision(fe.Precision)
+	if err != nil {
+		prec = svm.Float64 // Validate rejects unknown precisions at load
+	}
+	return fe.OVR.ScoresAtInto(prec, x, out)
+}
+
+// Scores is ScoresInto with a fresh output row.
+func (fe *FrontEndModel) Scores(x *sparse.Vector) []float64 {
+	return fe.ScoresInto(x, make([]float64, fe.NumClasses()))
+}
+
+// PackedBytes reports the in-memory footprint of the front-end's scoring
+// artifacts once packed (projection basis + weight kernel), for the
+// serve layer's model-footprint gauges.
+func (fe *FrontEndModel) PackedBytes() int {
+	n := fe.Proj.Bytes()
+	if fe.Quant != nil {
+		n += fe.Quant.Bytes()
+	} else if fe.OVR != nil {
+		// The packed float64 block the kernel builds lazily.
+		n += fe.WeightDim()*fe.OVR.NumClasses*8 + fe.OVR.NumClasses*8
+	}
+	return n
 }
 
 // Bundle is everything the online scoring service loads: the per-front-end
@@ -75,12 +156,60 @@ func (b *Bundle) Validate() error {
 		if fe.NumPhones <= 0 || fe.Order < 1 {
 			return fmt.Errorf("persist: front-end %q has invalid space %d^%d", fe.Name, fe.NumPhones, fe.Order)
 		}
-		if fe.OVR == nil || len(fe.OVR.Models) == 0 {
-			return fmt.Errorf("persist: front-end %q has no language models", fe.Name)
+		prec, err := svm.ParsePrecision(fe.Precision)
+		if err != nil {
+			return fmt.Errorf("persist: front-end %q: %w", fe.Name, err)
 		}
-		if fe.OVR.NumClasses != len(b.Languages) {
-			return fmt.Errorf("persist: front-end %q scores %d classes, bundle lists %d languages",
-				fe.Name, fe.OVR.NumClasses, len(b.Languages))
+		if fe.Quant != nil {
+			if err := fe.Quant.Validate(); err != nil {
+				return fmt.Errorf("persist: front-end %q: %w", fe.Name, err)
+			}
+			if prec != svm.Int8 {
+				return fmt.Errorf("persist: front-end %q carries an int8 kernel but precision %q", fe.Name, fe.Precision)
+			}
+			if fe.Quant.NumClasses != len(b.Languages) {
+				return fmt.Errorf("persist: front-end %q scores %d classes, bundle lists %d languages",
+					fe.Name, fe.Quant.NumClasses, len(b.Languages))
+			}
+		} else {
+			if prec == svm.Int8 {
+				return fmt.Errorf("persist: front-end %q declares int8 precision but has no quantized kernel", fe.Name)
+			}
+			if fe.OVR == nil || len(fe.OVR.Models) == 0 {
+				return fmt.Errorf("persist: front-end %q has no language models", fe.Name)
+			}
+			if fe.OVR.NumClasses != len(b.Languages) {
+				return fmt.Errorf("persist: front-end %q scores %d classes, bundle lists %d languages",
+					fe.Name, fe.OVR.NumClasses, len(b.Languages))
+			}
+		}
+		if fe.Proj != nil {
+			if err := fe.Proj.Validate(); err != nil {
+				return fmt.Errorf("persist: front-end %q: %w", fe.Name, err)
+			}
+			if d := fe.SpaceDim(); fe.Proj.Dim != d {
+				return fmt.Errorf("persist: front-end %q projection covers a %d-dim space, front-end's is %d-dim",
+					fe.Name, fe.Proj.Dim, d)
+			}
+		}
+		// The weight space must match what scoring will feed it — a
+		// rank/dimension mismatch here would otherwise surface as silent
+		// truncation (the packed kernels break at their Dim) or a panic.
+		if fe.Quant != nil {
+			if fe.Quant.Dim != fe.WeightDim() {
+				return fmt.Errorf("persist: front-end %q int8 kernel expects %d-dim inputs, scoring will feed %d",
+					fe.Name, fe.Quant.Dim, fe.WeightDim())
+			}
+		} else {
+			for c, mdl := range fe.OVR.Models {
+				if mdl == nil {
+					return fmt.Errorf("persist: front-end %q class %d model missing", fe.Name, c)
+				}
+				if len(mdl.W) != fe.WeightDim() {
+					return fmt.Errorf("persist: front-end %q class %d weights are %d-dim, scoring will feed %d",
+						fe.Name, c, len(mdl.W), fe.WeightDim())
+				}
+			}
 		}
 	}
 	if c := b.Cascade; c != nil {
@@ -124,8 +253,18 @@ type Manifest struct {
 	Fusion       bool     `json:"fusion"`
 	// Cascade names the tier-1 fast path's designated front-end when the
 	// bundle carries a cascade model; empty otherwise.
-	Cascade    string `json:"cascade,omitempty"`
-	BundleFile string `json:"bundle_file"`
+	Cascade string `json:"cascade,omitempty"`
+	// FrontEndDims records each front-end's feature-space geometry: the
+	// raw supervector dimensionality, the projection rank (0 when the
+	// bundle is unprojected), and the scoring precision. LoadBundle
+	// cross-checks these against the decoded bundle, so a manifest paired
+	// with the wrong bundle — or a bundle whose projection rank disagrees
+	// with what the manifest (and hence the registry's active generation)
+	// advertises — is rejected at load instead of surfacing as silent
+	// truncation or a kernel panic at score time. Empty in manifests
+	// written before the field existed.
+	FrontEndDims []FrontEndDims `json:"front_end_dims,omitempty"`
+	BundleFile   string         `json:"bundle_file"`
 	// BundleSHA256 is the hex SHA-256 of the complete (sealed) bundle
 	// file, recorded at export time; LoadBundle re-verifies it, so a
 	// manifest/bundle mismatch (partial copy, wrong file swapped in) is
@@ -144,6 +283,93 @@ type Manifest struct {
 	ShardOf           string `json:"shard_of,omitempty"`
 }
 
+// FrontEndDims is one front-end's feature-space geometry in the
+// manifest: the contract a scoring process checks requests and weight
+// kernels against.
+type FrontEndDims struct {
+	Name string `json:"name"`
+	// Dim is the raw supervector dimensionality of the n-gram space.
+	Dim int `json:"dim"`
+	// Rank is the low-rank projection's output dimension; 0 means the
+	// bundle scores in the raw space.
+	Rank int `json:"rank,omitempty"`
+	// Precision is the scoring precision ("float64" when unset in the
+	// bundle).
+	Precision string `json:"precision,omitempty"`
+}
+
+// StampContents overwrites the manifest's contents-summary fields
+// (front-end list, language count, fusion/cascade flags, per-front-end
+// dims) from the bundle. SaveBundle calls it; the cluster coordinator
+// reuses it when it cuts per-worker sub-bundles so every shard manifest
+// advertises exactly the geometry of the shard it accompanies.
+func (m *Manifest) StampContents(b *Bundle) {
+	m.FrontEnds = m.FrontEnds[:0]
+	m.FrontEndDims = m.FrontEndDims[:0]
+	for i := range b.FrontEnds {
+		fe := &b.FrontEnds[i]
+		m.FrontEnds = append(m.FrontEnds, fe.Name)
+		d := FrontEndDims{Name: fe.Name, Dim: fe.SpaceDim(), Precision: precisionOf(fe)}
+		if fe.Proj != nil {
+			d.Rank = fe.Proj.Rank
+		}
+		m.FrontEndDims = append(m.FrontEndDims, d)
+	}
+	m.NumLanguages = len(b.Languages)
+	m.Fusion = b.Fusion != nil
+	m.Cascade = ""
+	if b.Cascade != nil {
+		m.Cascade = b.Cascade.FrontEnd
+	}
+}
+
+// precisionOf normalizes a front-end's precision for the manifest
+// (legacy bundles leave the field empty, which means float64).
+func precisionOf(fe *FrontEndModel) string {
+	if fe.Precision == "" {
+		return svm.Float64.String()
+	}
+	return fe.Precision
+}
+
+// checkDims verifies a manifest's recorded geometry against the decoded
+// bundle. A mismatch means the manifest belongs to a different bundle
+// (partial copy, wrong generation swapped in) — rejected as corruption,
+// because scoring against it would truncate or panic.
+func checkDims(m *Manifest, b *Bundle) error {
+	if len(m.FrontEndDims) == 0 {
+		return nil // pre-field manifest: only the SHA/footer checks apply
+	}
+	if len(m.FrontEndDims) != len(b.FrontEnds) {
+		return fmt.Errorf("persist: manifest records %d front-end geometries, bundle has %d (%w)",
+			len(m.FrontEndDims), len(b.FrontEnds), ErrCorrupt)
+	}
+	for i := range b.FrontEnds {
+		fe := &b.FrontEnds[i]
+		d := m.FrontEndDims[i]
+		if d.Name != fe.Name {
+			return fmt.Errorf("persist: manifest front-end %d is %q, bundle has %q (%w)", i, d.Name, fe.Name, ErrCorrupt)
+		}
+		if d.Dim != fe.SpaceDim() {
+			return fmt.Errorf("persist: front-end %q: manifest records a %d-dim space, bundle's is %d-dim (%w)",
+				fe.Name, d.Dim, fe.SpaceDim(), ErrCorrupt)
+		}
+		rank := 0
+		if fe.Proj != nil {
+			rank = fe.Proj.Rank
+		}
+		if d.Rank != rank {
+			return fmt.Errorf("persist: front-end %q: manifest records projection rank %d, bundle carries %d (%w)",
+				fe.Name, d.Rank, rank, ErrCorrupt)
+		}
+		if d.Precision != "" && d.Precision != precisionOf(fe) {
+			return fmt.Errorf("persist: front-end %q: manifest records precision %s, bundle carries %s (%w)",
+				fe.Name, d.Precision, precisionOf(fe), ErrCorrupt)
+		}
+	}
+	return nil
+}
+
 // SaveBundle writes a bundle directory: bundle.gob first, manifest.json
 // last (both atomically), so concurrent readers either see the previous
 // complete bundle or the new one, never a torn mix. The manifest's
@@ -157,16 +383,7 @@ func SaveBundle(dir string, b *Bundle, m Manifest) error {
 	}
 	m.FormatVersion = BundleFormatVersion
 	m.BundleFile = defaultBundleFile
-	m.FrontEnds = m.FrontEnds[:0]
-	for i := range b.FrontEnds {
-		m.FrontEnds = append(m.FrontEnds, b.FrontEnds[i].Name)
-	}
-	m.NumLanguages = len(b.Languages)
-	m.Fusion = b.Fusion != nil
-	m.Cascade = ""
-	if b.Cascade != nil {
-		m.Cascade = b.Cascade.FrontEnd
-	}
+	m.StampContents(b)
 	sealed, err := MarshalSealed(b)
 	if err != nil {
 		return err
@@ -218,6 +435,9 @@ func LoadBundle(dir string) (*Bundle, *Manifest, error) {
 		return nil, nil, fmt.Errorf("persist: bundle %s: %w", file, err)
 	}
 	if err := b.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := checkDims(&m, &b); err != nil {
 		return nil, nil, err
 	}
 	return &b, &m, nil

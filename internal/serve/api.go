@@ -190,6 +190,12 @@ func buildVectors(m *Model, req *ScoreRequest) (map[int]*sparse.Vector, error) {
 		default:
 			return nil, badRequest("front-end %q: empty input", name)
 		}
+		// Compressed bundles carry a low-rank projection: the TFLLR-scaled
+		// raw-space supervector is mapped into the rank space here, once per
+		// request, so the batch kernel only ever sees weight-space vectors.
+		if fe.Proj != nil {
+			v = fe.Proj.Apply(v)
+		}
 		out[q] = v
 	}
 	return out, nil

@@ -364,7 +364,7 @@ func scoreJobs(batch []*job, workers int) {
 			outs[i].err = err
 			return
 		}
-		outs[i].scores = fe.OVR.Scores(t.j.vectors[t.fe])
+		outs[i].scores = fe.Scores(t.j.vectors[t.fe])
 	})
 	// Reassemble per job. A front-end failure degrades only that job's
 	// fusion input (the surviving front-ends still score); the job-level

@@ -19,6 +19,8 @@
 package serve
 
 import (
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +68,26 @@ func newModel(b *persist.Bundle, m *persist.Manifest, version int64) *Model {
 func (m *Model) FrontEndIndex(name string) (int, bool) {
 	q, ok := m.feIndex[name]
 	return q, ok
+}
+
+// CompressionSummary reports the model's compression operating point:
+// the largest projection rank across front-ends (0 when unprojected)
+// and the narrowest precision in the battery ("float64" for legacy
+// bundles, which predate the Precision field).
+func (m *Model) CompressionSummary() (rank int, precision string) {
+	bits := 64
+	precision = "float64"
+	for q := range m.Bundle.FrontEnds {
+		fe := &m.Bundle.FrontEnds[q]
+		if fe.Proj != nil && fe.Proj.Rank > rank {
+			rank = fe.Proj.Rank
+		}
+		if fb := precisionBits(fe.Precision); fb < bits {
+			bits = fb
+			precision = fe.Precision
+		}
+	}
+	return rank, precision
 }
 
 // ClusterGeneration is the fleet generation the bundle was distributed
@@ -126,5 +148,51 @@ func (r *Registry) Reload() (*Model, error) {
 	obs.Inc("serve.model.reloads")
 	obs.SetGauge("serve.model.version", float64(mod.Version))
 	obs.SetGauge("serve.model.front_ends", float64(len(b.FrontEnds)))
+	setFootprintGauges(r.dir, b, m)
 	return mod, nil
+}
+
+// setFootprintGauges publishes the live generation's serving footprint:
+// sealed bundle size on disk, in-memory packed scoring bytes across all
+// front-ends, and the compression operating point (projection rank, the
+// narrowest precision in the battery as bits). lrestat's model panel
+// reads these from /metricsz.
+func setFootprintGauges(dir string, b *persist.Bundle, m *persist.Manifest) {
+	file := defaultBundleFileName
+	if m != nil && m.BundleFile != "" {
+		file = m.BundleFile
+	}
+	if st, err := os.Stat(filepath.Join(dir, file)); err == nil {
+		obs.SetGauge("serve.model.bundle_bytes", float64(st.Size()))
+	}
+	var packed, rank int
+	bits := 64
+	for q := range b.FrontEnds {
+		fe := &b.FrontEnds[q]
+		packed += fe.PackedBytes()
+		if fe.Proj != nil && fe.Proj.Rank > rank {
+			rank = fe.Proj.Rank
+		}
+		if fb := precisionBits(fe.Precision); fb < bits {
+			bits = fb
+		}
+	}
+	obs.SetGauge("serve.model.packed_bytes", float64(packed))
+	obs.SetGauge("serve.model.rank", float64(rank))
+	obs.SetGauge("serve.model.precision_bits", float64(bits))
+}
+
+// defaultBundleFileName mirrors persist's unexported default for the
+// footprint gauge when a manifest predates the BundleFile field.
+const defaultBundleFileName = "bundle.gob"
+
+func precisionBits(p string) int {
+	switch p {
+	case "float32":
+		return 32
+	case "int8":
+		return 8
+	default:
+		return 64
+	}
 }

@@ -685,6 +685,11 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	if m := s.reg.Current(); m != nil {
 		rep.Meta["model_version"] = fmt.Sprintf("%d", m.Version)
 		rep.Meta["front_ends"] = strings.Join(m.Manifest.FrontEnds, ",")
+		rank, prec := m.CompressionSummary()
+		rep.Meta["model_precision"] = prec
+		if rank > 0 {
+			rep.Meta["model_rank"] = fmt.Sprintf("%d", rank)
+		}
 	}
 	switch r.URL.Query().Get("format") {
 	case "prom", "prometheus":

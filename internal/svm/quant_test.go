@@ -1,0 +1,236 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// quantFixture trains a small OVR problem so the precision rungs are
+// exercised on real solver output, not synthetic weights.
+func quantFixture(t testing.TB, n, dim, K int) (*OneVsRest, []*sparse.Vector) {
+	t.Helper()
+	r := rng.New(99)
+	xs := make([]*sparse.Vector, n)
+	labels := make([]int, n)
+	for i := range xs {
+		labels[i] = i % K
+		dense := make([]float64, dim)
+		for j := 0; j < dim/3; j++ {
+			dense[r.Intn(dim)] = r.Float64() + 0.2*float64(labels[i])
+		}
+		xs[i] = sparse.FromDense(dense)
+	}
+	opt := DefaultOptions()
+	opt.MaxIters = 30
+	return TrainOVR(xs, labels, K, dim, opt), xs
+}
+
+// TestFloat32KernelULPBound pins the float32 packed kernel against the
+// float64 oracle. The only deviation the float32 rung introduces is
+// rounding each weight once to float32 (≤ 2⁻²⁴ relative per weight);
+// accumulation stays float64 with the same addition chain, so the
+// documented bound is Σ|xⱼ·wⱼ| · 2⁻²⁴ per class plus accumulation slack —
+// checked here with a 4× safety factor.
+func TestFloat32KernelULPBound(t *testing.T) {
+	const n, dim, K = 40, 200, 7
+	o, xs := quantFixture(t, n, dim, K)
+	oracle := make([]float64, K)
+	got := make([]float64, K)
+	for _, x := range xs {
+		o.ScoresInto(x, oracle)
+		o.ScoresAtInto(Float32, x, got)
+		// Magnitude sum bounds the rounding error accumulation.
+		var mag float64
+		for k, i := range x.Idx {
+			for c := 0; c < K; c++ {
+				mag += math.Abs(x.Val[k] * o.Models[c].W[i])
+			}
+		}
+		bound := 4 * mag * math.Exp2(-24)
+		for c := range oracle {
+			if d := math.Abs(got[c] - oracle[c]); d > bound {
+				t.Fatalf("class %d: float32 kernel off by %v, documented bound %v", c, d, bound)
+			}
+		}
+	}
+}
+
+// TestScoresAtFloat64IsExact pins the Float64 rung to the exact kernel:
+// same function, bit-identical values.
+func TestScoresAtFloat64IsExact(t *testing.T) {
+	o, xs := quantFixture(t, 20, 80, 5)
+	a := make([]float64, 5)
+	b := make([]float64, 5)
+	for _, x := range xs {
+		o.ScoresInto(x, a)
+		o.ScoresAtInto(Float64, x, b)
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatalf("Float64 rung is not bit-identical: %v vs %v", a[c], b[c])
+			}
+		}
+	}
+}
+
+// TestQuantizedMatchesDequantizedOracle pins the int8 kernel's dequant
+// epilogue against scoring the explicitly dequantized float64 models:
+// identical weights, so the only difference is reassociating the scale
+// multiply — argmax must match everywhere and values must agree tightly.
+func TestQuantizedMatchesDequantizedOracle(t *testing.T) {
+	const n, dim, K = 60, 150, 9
+	o, xs := quantFixture(t, n, dim, K)
+	q, err := o.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := q.Dequantize()
+	qs := make([]float64, K)
+	os := make([]float64, K)
+	for _, x := range xs {
+		q.ScoresInto(x, qs)
+		oracle.ScoresInto(x, os)
+		var scale float64
+		for c := range os {
+			if a := math.Abs(os[c]); a > scale {
+				scale = a
+			}
+		}
+		argQ, argO := 0, 0
+		for c := range qs {
+			if qs[c] > qs[argQ] {
+				argQ = c
+			}
+			if os[c] > os[argO] {
+				argO = c
+			}
+			if math.Abs(qs[c]-os[c]) > 1e-10*(1+scale) {
+				t.Fatalf("class %d: quantized kernel %v vs dequantized oracle %v", c, qs[c], os[c])
+			}
+		}
+		if argQ != argO {
+			t.Fatalf("argmax differs: kernel %d, oracle %d", argQ, argO)
+		}
+	}
+}
+
+// TestQuantizedApproximatesFloat64 bounds the quantization loss itself:
+// each weight moves by at most Scale[c]/2, so scores move by at most
+// (Σ|xⱼ|)·Scale[c]/2.
+func TestQuantizedApproximatesFloat64(t *testing.T) {
+	const K = 6
+	o, xs := quantFixture(t, 30, 100, K)
+	q, err := o.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := make([]float64, K)
+	approx := make([]float64, K)
+	for _, x := range xs {
+		o.ScoresInto(x, exact)
+		q.ScoresInto(x, approx)
+		var l1 float64
+		for _, v := range x.Val {
+			l1 += math.Abs(v)
+		}
+		for c := range exact {
+			bound := l1*q.Scale[c]/2 + 1e-12
+			if d := math.Abs(approx[c] - exact[c]); d > bound {
+				t.Fatalf("class %d: quantization error %v above bound %v", c, d, bound)
+			}
+		}
+	}
+}
+
+func TestQuantizedValidateRejects(t *testing.T) {
+	o, _ := quantFixture(t, 20, 60, 4)
+	fresh := func() *Quantized {
+		q, err := o.Quantize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	cases := map[string]func(*Quantized){
+		"truncated weights": func(q *Quantized) { q.W8 = q.W8[:len(q.W8)-3] },
+		"NaN scale":         func(q *Quantized) { q.Scale[1] = math.NaN() },
+		"Inf scale":         func(q *Quantized) { q.Scale[0] = math.Inf(1) },
+		"negative scale":    func(q *Quantized) { q.Scale[2] = -1 },
+		"zero-point overflow": func(q *Quantized) {
+			q.Zero[3] = 4096 // outside int8 range
+		},
+		"NaN zero point": func(q *Quantized) { q.Zero[0] = math.NaN() },
+		"NaN bias":       func(q *Quantized) { q.Bias[1] = math.NaN() },
+		"short scales":   func(q *Quantized) { q.Scale = q.Scale[:2] },
+		"bad classes":    func(q *Quantized) { q.NumClasses = 0 },
+		"bad dim":        func(q *Quantized) { q.Dim = -5 },
+	}
+	for name, mutate := range cases {
+		q := fresh()
+		mutate(q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a corrupt kernel", name)
+		}
+	}
+}
+
+// TestQuantizedZeroPointEpilogue checks the full affine dequantization:
+// a hand-built kernel with nonzero zero points must score exactly like
+// its Dequantize form.
+func TestQuantizedZeroPointEpilogue(t *testing.T) {
+	enc := func(v int8) byte { return byte(v) }
+	q := &Quantized{
+		NumClasses: 2, Dim: 3,
+		W8:    []byte{enc(10), enc(-4), enc(0), enc(7), enc(100), enc(-100)},
+		Scale: []float64{0.5, 0.25},
+		Zero:  []float64{3, -2},
+		Bias:  []float64{0.1, -0.2},
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := &sparse.Vector{Idx: []int32{0, 2}, Val: []float64{1.5, -2}}
+	got := q.Scores(x)
+	want := q.Dequantize().Scores(x)
+	for c := range got {
+		if math.Abs(got[c]-want[c]) > 1e-12 {
+			t.Fatalf("class %d: epilogue %v, dequantized oracle %v", c, got[c], want[c])
+		}
+	}
+}
+
+// TestQuantizedScoresIntoAllocFree is the AllocsPerRun gate on the
+// quantized hot path: with a caller-provided output row, scoring must
+// not allocate.
+func TestQuantizedScoresIntoAllocFree(t *testing.T) {
+	o, xs := quantFixture(t, 20, 80, 5)
+	q, err := o.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, q.NumClasses)
+	x := xs[0]
+	if n := testing.AllocsPerRun(100, func() { q.ScoresInto(x, out) }); n != 0 {
+		t.Fatalf("quantized ScoresInto allocates %v per run, want 0", n)
+	}
+	// The float32 rung shares the gate once its block is built.
+	o.ScoresAtInto(Float32, x, out)
+	if n := testing.AllocsPerRun(100, func() { o.ScoresAtInto(Float32, x, out) }); n != 0 {
+		t.Fatalf("float32 ScoresAtInto allocates %v per run, want 0", n)
+	}
+}
+
+func TestQuantizeHeterogeneousFails(t *testing.T) {
+	o := &OneVsRest{NumClasses: 2, Models: []*Model{
+		{W: []float64{1, 2}, Bias: 0},
+		{W: []float64{1, 2, 3}, Bias: 0},
+	}}
+	if _, err := o.Quantize(); err == nil {
+		t.Fatal("heterogeneous models quantized")
+	}
+}

@@ -248,6 +248,11 @@ type OneVsRest struct {
 	packedBias []float64
 	packedDim  int
 	packOK     bool
+
+	// Float32 rung of the precision ladder (quant.go), built lazily from
+	// the float64 block so requesting it never perturbs the exact kernel.
+	pack32Once sync.Once
+	packedF32  []float32
 }
 
 // TrainOVR trains one binary model per class with the remaining classes

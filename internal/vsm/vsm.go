@@ -260,6 +260,32 @@ func (f *Features) Vectors(s *corpus.Split) []*sparse.Vector {
 // hand-assembled Features without one).
 func (f *Features) Matrix() *sparse.Matrix { return f.mat }
 
+// Projector is anything that maps a raw-space supervector into a
+// fixed-rank output row — proj.Projection (exact float64 basis) and
+// proj.Packed (the serialized float64/float32/int8 forms) both qualify.
+type Projector interface {
+	ApplyInto(x *sparse.Vector, out []float64)
+}
+
+// ProjectVectors maps supervectors into a projection's rank space in
+// parallel and repacks the results into one CSR arena — the same
+// locality layout extraction builds, so downstream SVM training and
+// scoring over projected features touch contiguous memory. The inputs
+// are not modified.
+func ProjectVectors(p Projector, rank int, xs []*sparse.Vector) []*sparse.Vector {
+	rows := make([]*sparse.Vector, len(xs))
+	parallel.ForPool("project", len(xs), func(i int) {
+		out := make([]float64, rank)
+		p.ApplyInto(xs[i], out)
+		rows[i] = sparse.FromDense(out)
+	})
+	mat := sparse.MatrixFromRows(rows)
+	for i := range rows {
+		rows[i] = mat.Row(i)
+	}
+	return rows
+}
+
 // Dim returns the supervector dimension of the front-end.
 func (f *Features) Dim() int { return f.FE.Space.Dim() }
 
