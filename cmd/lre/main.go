@@ -81,6 +81,8 @@ func main() {
 		openset    = flag.Int("openset", 0, "evaluate open-set condition with N out-of-set languages (extension; 0 = off)")
 		scoresOut  = flag.String("scores", "", "write LRE-style score files for the baseline subsystems to this path")
 		exportDir  = flag.String("export-models", "", "export the trained baseline bundle + manifest for cmd/lred to this directory")
+		exportReqs = flag.String("export-requests", "", "write pooled test utterances as replay /v1/score request bodies (JSON Lines, vote-selected first) to this path")
+		exportReqN = flag.Int("export-requests-count", 64, "with -export-requests: how many requests to write (0 = all)")
 		traceOut   = flag.String("trace-out", "", "write the span trace (per-stage wall times) as JSON to this path")
 		metricsOut = flag.String("metrics-out", "", "write counters/gauges/latency histograms as JSON to this path")
 		reportOut  = flag.String("report-out", "", "write the full run report (trace + metrics + meta) as JSON to this path")
@@ -111,7 +113,7 @@ func main() {
 		runBenchHotpath(*benchHot)
 		return
 	}
-	if *table == "" && *fig == "" && *ablation == "" && *exportDir == "" && *cascEval == "" && *compEval == "" {
+	if *table == "" && *fig == "" && *ablation == "" && *exportDir == "" && *exportReqs == "" && *cascEval == "" && *compEval == "" {
 		*table = "all"
 	}
 
@@ -149,8 +151,8 @@ func main() {
 	}
 	needPipeline := wantTable("1") || wantTable("2") || wantTable("3") ||
 		wantTable("4") || *fig == "3" || *ablation != "" || *scoresOut != "" ||
-		*iterate > 0 || *openset > 0 || *exportDir != "" || *cascEval != "" ||
-		*compEval != ""
+		*iterate > 0 || *openset > 0 || *exportDir != "" || *exportReqs != "" ||
+		*cascEval != "" || *compEval != ""
 
 	var ck *experiments.Checkpointer
 	var store *checkpoint.Store
@@ -252,6 +254,13 @@ func main() {
 			log.Printf("exported bundle to %s: %d front-ends, %d languages, fusion=%v, cascade=%q",
 				*exportDir, len(m.FrontEnds), m.NumLanguages, m.Fusion, m.Cascade)
 		}
+	}
+	if *exportReqs != "" {
+		written, voted, err := p.ExportRequests(*exportReqs, *exportReqN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("exported %d replay requests to %s (%d vote-selected)", written, *exportReqs, voted)
 	}
 	if *compEval != "" {
 		rep, err := experiments.RunCompressEval(p, nil, nil)

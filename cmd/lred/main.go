@@ -17,6 +17,24 @@
 //	GET  /metricsz        serving metrics (see format negotiation below)
 //	GET  /tracez          bounded buffer of recent/slowest/degraded request traces
 //	POST /-/reload        reload the bundle directory (SIGHUP does the same)
+//	GET  /adaptz          online-adaptation loop status (enabled:false when off)
+//	POST /-/adapt/promote force one gated promotion attempt (-adapt only)
+//	POST /-/adapt/rollback roll back to the last-known-good generation (-adapt only)
+//
+// Online adaptation (-adapt, standalone role only): the daemon buffers
+// served full-battery utterances, periodically retrains the SVM battery
+// on the high-vote ones (the paper's Eq. 13 DBA selection, off the
+// request path), and hot-swaps the result in — but only after a
+// three-stage safety gate: a golden-score canary on a frozen referee
+// set, an EER-must-not-regress check on a frozen holdout, and shadow
+// rescoring of sampled live traffic. Promotions are generation-versioned
+// on disk (gen-NNNNNN directories + a sealed CURRENT pointer), crash-safe
+// (a torn candidate is quarantined, never served), and reversible: the
+// post-promotion canary probe rolls back to last-known-good
+// automatically, and POST /-/adapt/rollback does it on demand. The
+// default ('-adapt=off') leaves serving bit-identical to a daemon
+// without the subsystem. See DESIGN.md "Online adaptation & safe
+// promotion".
 //
 // Metrics format negotiation: /metricsz serves the metrics-only
 // internal/obs report — counters, gauges, histograms, and 1m/5m rolling
@@ -138,6 +156,7 @@ func main() {
 
 		cascadeOn     = flag.Bool("cascade", false, "enable the two-tier cascade fast path (the bundle must carry a cascade model; bundles without one escalate everything)")
 		cascadeMargin = flag.String("cascade-margin", "", "cascade threshold-offset policy: a bare offset ('0.05', '-inf', '+inf') or per-tier overrides ('default=0;30s=0.1'); empty = calibrated margins as-is")
+		adaptSpec     = flag.String("adapt", "off", "online DBA self-training: 'off' (default), 'on' (default policy), or a policy spec like 'cadence=5m;votes=4;method=m2;eer-budget=0.5' (standalone role only; the bundle must carry an adapt sidecar)")
 
 		accessLog      = flag.String("access-log", "stderr", "access-log destination: stderr, stdout, a file path, or 'none'")
 		accessLogEvery = flag.Int("access-log-every", 1, "log every Nth request (degraded/errored always log)")
@@ -197,6 +216,11 @@ func main() {
 	} else if *models == "" {
 		log.Fatal("no -models directory (export one with: lre -export-models <dir>)")
 	}
+	if *adaptSpec != "" && *adaptSpec != "off" && *role != "standalone" {
+		// Coordinator/worker promotion would need cluster-wide generation
+		// consensus; the self-training loop is a standalone feature.
+		log.Fatalf("-adapt is standalone-only (role %q)", *role)
+	}
 	if *chaos != "" {
 		plan, err := faultinject.ParsePlan(*chaos)
 		if err != nil {
@@ -222,6 +246,7 @@ func main() {
 		AccessLogEvery: *accessLogEvery,
 		DisableTracing: *noTrace,
 		Cascade:        serve.CascadeConfig{Enabled: *cascadeOn, Margin: *cascadeMargin},
+		Adapt:          *adaptSpec,
 		Reload: serve.ReloadPolicy{
 			Retries:     *reloadRetries,
 			BaseBackoff: *reloadBackoff,
@@ -318,6 +343,10 @@ func main() {
 	m := s.Registry().Current()
 	log.Printf("loaded bundle v%d from %s: %d front-ends, %d languages, fusion=%v",
 		m.Version, *models, len(m.Bundle.FrontEnds), len(m.Bundle.Languages), m.Bundle.Fusion != nil)
+	if a := s.Adapter(); a != nil {
+		st := a.Status()
+		log.Printf("online adaptation on: generation %d, policy %s", st.Generation, st.Policy)
+	}
 	log.Printf("serving on http://%s (max-batch=%d queue=%d)", ln.Addr(), *maxBatch, *queueDepth)
 
 	// SIGHUP hot-reloads the bundle through the retry/backoff + breaker

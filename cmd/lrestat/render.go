@@ -42,10 +42,23 @@ func render(rep *obs.Report, target string) string {
 			bytesHuman(bb), bytesHuman(rep.Gauges["serve.model.packed_bytes"]))
 	}
 
-	fmt.Fprintf(&b, "queue depth %s   inflight %s   draining %s\n\n",
+	fmt.Fprintf(&b, "queue depth %s   inflight %s   draining %s   reload breaker %s\n",
 		fmtGauge(rep.Gauges, "serve.queue.depth"),
 		fmtGauge(rep.Gauges, "serve.http.inflight"),
-		fmtGauge(rep.Gauges, "serve.draining"))
+		fmtGauge(rep.Gauges, "serve.draining"),
+		breakerState(rep.Gauges))
+
+	// Adaptation row: only on daemons running -adapt (the generation gauge
+	// is then always published, even at generation 0).
+	if gen, ok := rep.Gauges["adapt.generation"]; ok {
+		fmt.Fprintf(&b, "adapt gen %.0f   buffer %s   shadow %s   promoted %d   rolled back %d   vetoed %d   quarantined %d\n",
+			gen,
+			fmtGauge(rep.Gauges, "adapt.buffer_utts"),
+			fmtGauge(rep.Gauges, "adapt.shadow_utts"),
+			rep.Counters["adapt.promotions"], rep.Counters["adapt.rollbacks"],
+			rep.Counters["adapt.vetoes"], rep.Counters["adapt.quarantined"])
+	}
+	b.WriteByte('\n')
 
 	// RED per endpoint: every serve.http.<name>.seconds window is one
 	// row; a coordinator's cluster.http.<name>.seconds windows render as
@@ -202,6 +215,20 @@ func ms(sec float64) string {
 		return fmt.Sprintf("%.1fms", v)
 	default:
 		return fmt.Sprintf("%.0fms", v)
+	}
+}
+
+// breakerState renders the reload circuit breaker gauge: open/closed, or
+// a dash against daemons predating the gauge.
+func breakerState(gauges map[string]float64) string {
+	v, ok := gauges["serve.reload.breaker_open"]
+	switch {
+	case !ok:
+		return "—"
+	case v > 0:
+		return "open"
+	default:
+		return "closed"
 	}
 }
 

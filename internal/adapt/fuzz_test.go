@@ -1,0 +1,41 @@
+package adapt
+
+import "testing"
+
+// FuzzParsePolicy asserts the parser never panics and that accepted
+// specs are a canonical fixed point: ParsePolicy(p.String()) == p, and
+// String is idempotent across that second parse. Runs in CI's fuzz-short
+// job alongside the persist and checkpoint targets.
+func FuzzParsePolicy(f *testing.F) {
+	f.Add("")
+	f.Add("on")
+	f.Add("default")
+	f.Add("cadence=5m;probe=30s;votes=4;method=m2")
+	f.Add("cadence=90s;votes=1;method=m1;min-utts=1;buffer=64;shadow-rate=1;shadow-bound=0.5;eer-budget=0;canary-tol=0.125;keep=2")
+	f.Add("votes=0")
+	f.Add("method=m3")
+	f.Add(";;;")
+	f.Add("votes=2;votes=3")
+	f.Add("shadow-rate=1e308")
+	f.Add("cadence=9223372036854775807ns")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePolicy(spec)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePolicy(%q) returned an invalid policy: %v", spec, verr)
+		}
+		s := p.String()
+		p2, err := ParsePolicy(s)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", s, spec, err)
+		}
+		if p2 != p {
+			t.Fatalf("round trip of %q: %+v != %+v", spec, p2, p)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Fatalf("String not a fixed point: %q then %q", s, s2)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package adapt
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/persist"
+	"repro/internal/sparse"
+	"repro/internal/svm"
+)
+
+// SetFile is the sidecar file `lre -export-models` writes next to the
+// bundle. It freezes everything self-training needs that a serving
+// process cannot reconstruct from live traffic: the original training
+// supervectors (DBA-M2 appends the selected utterances to them), a
+// holdout split with labels (the EER gate), per-front-end vote
+// calibration shifts (Eq. 13 on raw one-vs-rest scores almost never
+// fires — the 1-vs-22 imbalance biases them negative), and the pinned
+// referee scores the canary gate checks candidates against.
+const SetFile = "adapt.gob"
+
+// SetFormatVersion versions the sidecar layout.
+const SetFormatVersion = 1
+
+// ErrNoSet marks a bundle directory exported without an adapt sidecar —
+// such bundles serve normally but cannot self-train.
+var ErrNoSet = errors.New("adapt: bundle has no adapt sidecar (re-export with a current lre)")
+
+// Set is the decoded sidecar.
+type Set struct {
+	FormatVersion int
+	// Languages mirrors the bundle's language list (cross-checked at
+	// adapter construction).
+	Languages []string
+	// SVM carries the export-time solver options, so candidate training
+	// uses exactly the hyperparameters the base models were trained with.
+	SVM svm.Options
+	// Seed is the export pipeline's seed (candidate seeds derive from it
+	// the same way dba.Run derives per-front-end seeds).
+	Seed uint64
+	// TrainLabels pairs with every front-end's Train vectors.
+	TrainLabels []int
+	// HoldoutLabels pairs with every front-end's Holdout vectors.
+	HoldoutLabels []int
+	// FrontEnds aligns with the bundle's front-end order.
+	FrontEnds []SetFrontEnd
+}
+
+// SetFrontEnd is one front-end's frozen adaptation data, all vectors in
+// that front-end's scoring weight space (TFLLR-scaled, projected if the
+// bundle projects) — exactly what FrontEndModel.ScoresInto consumes.
+type SetFrontEnd struct {
+	Name string
+	// Dim is the weight-space dimensionality (must equal the bundle
+	// front-end's WeightDim).
+	Dim int
+	// Train are the original training supervectors (DBA-M2's Tr).
+	Train []*sparse.Vector
+	// Holdout are the frozen holdout supervectors the EER gate scores.
+	Holdout []*sparse.Vector
+	// VoteShifts are the per-language vote-calibration thresholds
+	// (subtracted from a served score row before the Eq. 13 criterion),
+	// computed on dev at export time like the offline pipeline's vote
+	// calibration.
+	VoteShifts []float64
+	// RefereeScores pins the export-time model's score rows for the
+	// first len(RefereeScores) holdout vectors — the frozen referee set.
+	// The canary gate bounds a candidate's drift against these.
+	RefereeScores [][]float64
+}
+
+// NumReferee returns the referee-set size (identical across front-ends,
+// enforced by Validate).
+func (s *Set) NumReferee() int {
+	if len(s.FrontEnds) == 0 {
+		return 0
+	}
+	return len(s.FrontEnds[0].RefereeScores)
+}
+
+// Validate checks the internal consistency the trainer and gates rely
+// on.
+func (s *Set) Validate() error {
+	if s.FormatVersion != SetFormatVersion {
+		return fmt.Errorf("adapt: sidecar format %d (want %d)", s.FormatVersion, SetFormatVersion)
+	}
+	if len(s.Languages) == 0 {
+		return fmt.Errorf("adapt: sidecar lists no languages")
+	}
+	if len(s.FrontEnds) == 0 {
+		return fmt.Errorf("adapt: sidecar has no front-ends")
+	}
+	k := len(s.Languages)
+	nRef := len(s.FrontEnds[0].RefereeScores)
+	for i := range s.FrontEnds {
+		fe := &s.FrontEnds[i]
+		if fe.Name == "" {
+			return fmt.Errorf("adapt: sidecar front-end %d has no name", i)
+		}
+		if fe.Dim <= 0 {
+			return fmt.Errorf("adapt: front-end %q has dimension %d", fe.Name, fe.Dim)
+		}
+		if len(fe.Train) != len(s.TrainLabels) {
+			return fmt.Errorf("adapt: front-end %q has %d train vectors for %d labels",
+				fe.Name, len(fe.Train), len(s.TrainLabels))
+		}
+		if len(fe.Holdout) != len(s.HoldoutLabels) {
+			return fmt.Errorf("adapt: front-end %q has %d holdout vectors for %d labels",
+				fe.Name, len(fe.Holdout), len(s.HoldoutLabels))
+		}
+		if len(fe.VoteShifts) != 0 && len(fe.VoteShifts) != k {
+			return fmt.Errorf("adapt: front-end %q has %d vote shifts for %d languages",
+				fe.Name, len(fe.VoteShifts), k)
+		}
+		if len(fe.RefereeScores) != nRef {
+			return fmt.Errorf("adapt: front-end %q pins %d referee rows, front-end %q pins %d",
+				fe.Name, len(fe.RefereeScores), s.FrontEnds[0].Name, nRef)
+		}
+		if nRef > len(fe.Holdout) {
+			return fmt.Errorf("adapt: front-end %q pins %d referee rows but has %d holdout vectors",
+				fe.Name, nRef, len(fe.Holdout))
+		}
+		for j, row := range fe.RefereeScores {
+			if len(row) != k {
+				return fmt.Errorf("adapt: front-end %q referee row %d scores %d languages (want %d)",
+					fe.Name, j, len(row), k)
+			}
+		}
+	}
+	if nRef == 0 {
+		return fmt.Errorf("adapt: sidecar has an empty referee set")
+	}
+	if len(s.HoldoutLabels) == 0 {
+		return fmt.Errorf("adapt: sidecar has an empty holdout split")
+	}
+	return nil
+}
+
+// SaveSet writes the sidecar into a bundle directory (sealed, atomic).
+func SaveSet(dir string, s *Set) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	return persist.Save(filepath.Join(dir, SetFile), s)
+}
+
+// LoadSet reads and validates a bundle directory's sidecar. A missing
+// file returns ErrNoSet.
+func LoadSet(dir string) (*Set, error) {
+	path := filepath.Join(dir, SetFile)
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return nil, ErrNoSet
+	}
+	var s Set
+	if err := persist.Load(path, &s); err != nil {
+		return nil, fmt.Errorf("adapt: sidecar: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"log"
+	"os"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/fusion"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -89,6 +91,18 @@ func (p *Pipeline) ExportModels(dir, gitDescribe string) (*persist.Manifest, err
 		Scale:       p.Scale.String(),
 		GitDescribe: gitDescribe,
 	}
+	// The adapt sidecar lands before the bundle, the manifest last — a
+	// manifest that names AdaptFile therefore never points at a missing or
+	// torn sidecar. (The compressed-export path in cmd/lre skips the
+	// sidecar: int8 bundles carry no trainable weights, so they serve with
+	// adaptation off.)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := adapt.SaveSet(dir, p.BuildAdaptSet()); err != nil {
+		return nil, err
+	}
+	m.AdaptFile = adapt.SetFile
 	if err := persist.SaveBundle(dir, p.BuildBundle(), m); err != nil {
 		return nil, err
 	}

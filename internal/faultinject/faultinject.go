@@ -29,6 +29,18 @@
 //	cascade.tier1          cascade tier-1 scoring (error/panic → transparent
 //	                       escalation to the heavy path, never a 5xx)
 //
+// Online-adaptation sites (internal/adapt; any injected error, panic, or
+// crash leaves the serving model untouched and bit-identical — the
+// promotion pipeline aborts or quarantines instead):
+//
+//	adapt.train            self-training pass — vote, select, retrain (error/panic)
+//	adapt.canary           golden-score canary; hit both by the pre-promotion
+//	                       gate and the post-promotion probe, so after=N can
+//	                       fail either one deterministically (error/panic →
+//	                       quarantine or automatic rollback)
+//	adapt.promote          the CURRENT pointer flip — the promotion commit
+//	                       point (error/panic models a crash mid-promotion)
+//
 // Cluster sites (the coordinator hits one per shard RPC — scoring,
 // bundle push, and health probe alike; internal/cluster):
 //

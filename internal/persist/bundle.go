@@ -272,6 +272,15 @@ type Manifest struct {
 	// bundles written before the field existed — then only the bundle
 	// file's own integrity footer applies.
 	BundleSHA256 string `json:"bundle_sha256,omitempty"`
+	// AdaptFile names the self-training sidecar (adapt.gob) exported
+	// alongside the bundle: frozen train/holdout supervectors, vote
+	// calibration, and the pinned referee scores internal/adapt's gates
+	// check candidates against. Empty in bundles exported without one —
+	// such bundles serve normally but cannot self-train.
+	AdaptFile string `json:"adapt_file,omitempty"`
+	// AdaptGeneration is the online-adaptation generation this bundle was
+	// promoted as (see internal/adapt); zero for base exports.
+	AdaptGeneration int64 `json:"adapt_generation,omitempty"`
 	// Cluster shard provenance (zero/empty outside internal/cluster
 	// deployments). ClusterGeneration is the coordinator fleet generation
 	// this bundle was distributed under — shard workers refuse scoring

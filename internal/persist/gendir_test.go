@@ -1,0 +1,280 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// saveGen exports one trained bundle into root/<name> (or the root for
+// BaseGenDir), the layout a promotion stages.
+func saveGen(t *testing.T, root, name string, seed uint64) {
+	t.Helper()
+	b, _ := trainedBundle(t, seed)
+	dir := root
+	if name != BaseGenDir {
+		dir = filepath.Join(root, name)
+	}
+	if err := SaveBundle(dir, b, Manifest{Seed: seed, Scale: "test"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenPointerRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	want := GenPointer{Generation: 3, Dir: GenDirName(3), BundleSHA256: "abc", LastKnownGood: GenDirName(2)}
+	if err := WriteCurrent(root, want, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCurrent(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip %+v != %+v", got, want)
+	}
+}
+
+func TestReadCurrentMissingAndCorrupt(t *testing.T) {
+	root := t.TempDir()
+	if _, err := ReadCurrent(root); !os.IsNotExist(err) {
+		t.Fatalf("missing CURRENT: %v, want not-exist", err)
+	}
+	// A torn pointer (truncated mid-seal) is ErrCorrupt, not garbage.
+	if err := WriteCurrent(root, GenPointer{Generation: 1, Dir: GenDirName(1)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, CurrentName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCurrent(root); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn CURRENT: %v, want ErrCorrupt", err)
+	}
+	if err := WriteCurrent(root, GenPointer{Generation: 1, Dir: ""}, ""); err == nil {
+		t.Fatal("pointer naming no directory accepted")
+	}
+}
+
+func TestParseGeneration(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  int64
+		ok   bool
+	}{
+		{GenDirName(7), 7, true},
+		{"quarantine-" + GenDirName(12), 12, true},
+		{"gen-", 0, false},
+		{"gen-x", 0, false},
+		{"bundle.gob", 0, false},
+		{BaseGenDir, 0, false},
+	}
+	for _, tc := range cases {
+		g, ok := ParseGeneration(tc.name)
+		if ok != tc.ok || (ok && g != tc.gen) {
+			t.Errorf("ParseGeneration(%q) = %d,%v, want %d,%v", tc.name, g, ok, tc.gen, tc.ok)
+		}
+	}
+}
+
+func TestResolveBundleLegacyRoot(t *testing.T) {
+	root := t.TempDir()
+	saveGen(t, root, BaseGenDir, 1)
+	_, _, info, err := ResolveBundle(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 0 || info.DirName != BaseGenDir || info.Fallback {
+		t.Fatalf("legacy root resolved as %+v", info)
+	}
+}
+
+func TestResolveBundlePointerTarget(t *testing.T) {
+	root := t.TempDir()
+	saveGen(t, root, BaseGenDir, 1)
+	saveGen(t, root, GenDirName(1), 2)
+	if err := WriteCurrent(root, GenPointer{Generation: 1, Dir: GenDirName(1), LastKnownGood: BaseGenDir}, ""); err != nil {
+		t.Fatal(err)
+	}
+	_, m, info, err := ResolveBundle(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 1 || info.DirName != GenDirName(1) || info.Fallback {
+		t.Fatalf("resolved %+v", info)
+	}
+	if info.LastKnownGood != BaseGenDir {
+		t.Fatalf("last-known-good %q", info.LastKnownGood)
+	}
+	if m.Seed != 2 {
+		t.Fatalf("loaded seed %d, want the generation's bundle", m.Seed)
+	}
+}
+
+func TestResolveBundleFallsBackToLastKnownGood(t *testing.T) {
+	root := t.TempDir()
+	saveGen(t, root, BaseGenDir, 1)
+	saveGen(t, root, GenDirName(1), 2)
+	// The pointer names a generation that was never written (torn
+	// promotion); its recorded last-known-good must serve.
+	if err := WriteCurrent(root, GenPointer{Generation: 2, Dir: GenDirName(2), LastKnownGood: GenDirName(1)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	_, m, info, err := ResolveBundle(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Fallback || info.Generation != 1 || m.Seed != 2 {
+		t.Fatalf("resolved %+v (seed %d), want fallback to gen 1", info, m.Seed)
+	}
+}
+
+func TestResolveBundleCorruptPointerFallsBackNewestFirst(t *testing.T) {
+	root := t.TempDir()
+	saveGen(t, root, BaseGenDir, 1)
+	saveGen(t, root, GenDirName(1), 2)
+	saveGen(t, root, GenDirName(2), 3)
+	if err := os.WriteFile(filepath.Join(root, CurrentName), []byte("not a sealed pointer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, m, info, err := ResolveBundle(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Fallback || info.Generation != 2 || m.Seed != 3 {
+		t.Fatalf("resolved %+v (seed %d), want newest generation", info, m.Seed)
+	}
+}
+
+func TestResolveBundleFallsBackToBase(t *testing.T) {
+	root := t.TempDir()
+	saveGen(t, root, BaseGenDir, 1)
+	// Pointer to a missing generation, no LKG, no other generations.
+	if err := WriteCurrent(root, GenPointer{Generation: 5, Dir: GenDirName(5)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	_, _, info, err := ResolveBundle(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Fallback || info.Generation != 0 || info.DirName != BaseGenDir {
+		t.Fatalf("resolved %+v, want base fallback", info)
+	}
+	// Nothing loadable anywhere is an error, not a nil bundle.
+	empty := t.TempDir()
+	if err := WriteCurrent(empty, GenPointer{Generation: 1, Dir: GenDirName(1)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ResolveBundle(empty); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty root resolved: %v", err)
+	}
+}
+
+func TestQuarantineGeneration(t *testing.T) {
+	root := t.TempDir()
+	saveGen(t, root, GenDirName(1), 1)
+	q, err := QuarantineGeneration(root, GenDirName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != "quarantine-"+GenDirName(1) {
+		t.Fatalf("quarantined as %q", q)
+	}
+	if got := ListGenerations(root); len(got) != 0 {
+		t.Fatalf("quarantined generation still listed: %v", got)
+	}
+	if _, err := QuarantineGeneration(root, q); err == nil {
+		t.Fatal("double quarantine accepted")
+	}
+	if _, err := QuarantineGeneration(root, "bundle.gob"); err == nil {
+		t.Fatal("non-generation name accepted")
+	}
+}
+
+func TestNextGenerationNeverReusesNumbers(t *testing.T) {
+	root := t.TempDir()
+	if got := NextGeneration(root); got != 1 {
+		t.Fatalf("empty root next gen %d, want 1", got)
+	}
+	if err := os.MkdirAll(filepath.Join(root, GenDirName(2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if got := NextGeneration(root); got != 3 {
+		t.Fatalf("next gen %d, want 3", got)
+	}
+	// A quarantined candidate's number stays burned.
+	if err := os.Rename(filepath.Join(root, GenDirName(2)), filepath.Join(root, "quarantine-"+GenDirName(2))); err != nil {
+		t.Fatal(err)
+	}
+	if got := NextGeneration(root); got != 3 {
+		t.Fatalf("next gen after quarantine %d, want 3", got)
+	}
+	// The pointer alone also counts (its target may have been pruned).
+	if err := WriteCurrent(root, GenPointer{Generation: 6, Dir: GenDirName(6)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := NextGeneration(root); got != 7 {
+		t.Fatalf("next gen from pointer %d, want 7", got)
+	}
+}
+
+func TestPruneGenerationsPinsSurvive(t *testing.T) {
+	root := t.TempDir()
+	for g := int64(1); g <= 5; g++ {
+		if err := os.MkdirAll(filepath.Join(root, GenDirName(g)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// keep=1 with gens 5 (serving) and 1 (an old LKG) pinned: 4 is the one
+	// kept, 3 and 2 go.
+	removed, err := PruneGenerations(root, 1, GenDirName(5), GenDirName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed %v", removed)
+	}
+	var left []string
+	for _, e := range ListGenerations(root) {
+		left = append(left, e.Name)
+	}
+	want := []string{GenDirName(5), GenDirName(4), GenDirName(1)}
+	if len(left) != len(want) {
+		t.Fatalf("surviving %v, want %v", left, want)
+	}
+	for i := range want {
+		if left[i] != want[i] {
+			t.Fatalf("surviving %v, want %v", left, want)
+		}
+	}
+}
+
+func TestPruneBoundsQuarantine(t *testing.T) {
+	root := t.TempDir()
+	for g := int64(1); g <= 4; g++ {
+		if err := os.MkdirAll(filepath.Join(root, "quarantine-"+GenDirName(g)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := PruneGenerations(root, 2); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	// Newest two quarantined candidates survive for forensics.
+	want := []string{"quarantine-" + GenDirName(3), "quarantine-" + GenDirName(4)}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("after prune: %v, want %v", names, want)
+	}
+}

@@ -41,17 +41,22 @@ type Model struct {
 	// responses and metrics can attribute scores to a model generation.
 	Version  int64
 	LoadedAt time.Time
+	// Gen records how the bundle root resolved: which adaptation
+	// generation is serving (0 = the base export) and whether resolution
+	// had to fall back past an unusable pointer target.
+	Gen persist.ResolveInfo
 
 	feIndex map[string]int
 	spaces  []*ngram.Space
 }
 
-func newModel(b *persist.Bundle, m *persist.Manifest, version int64) *Model {
+func newModel(b *persist.Bundle, m *persist.Manifest, version int64, info persist.ResolveInfo) *Model {
 	mod := &Model{
 		Bundle:   b,
 		Manifest: m,
 		Version:  version,
 		LoadedAt: time.Now(),
+		Gen:      info,
 		feIndex:  make(map[string]int, len(b.FrontEnds)),
 		spaces:   make([]*ngram.Space, len(b.FrontEnds)),
 	}
@@ -124,31 +129,41 @@ func (r *Registry) Current() *Model { return r.cur.Load() }
 // Dir returns the bundle directory the registry reloads from.
 func (r *Registry) Dir() string { return r.dir }
 
-// Reload loads the bundle directory and atomically swaps it in. On error
-// the previous model stays active — a failed reload must never take a
-// serving process down or degrade it.
+// Reload resolves the bundle root (honoring a CURRENT generation pointer
+// when internal/adapt has promoted one; plain roots load exactly as
+// before) and atomically swaps the result in. On error the previous model
+// stays active — a failed reload must never take a serving process down
+// or degrade it.
 func (r *Registry) Reload() (*Model, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var b *persist.Bundle
 	var m *persist.Manifest
+	var info persist.ResolveInfo
 	// Chaos hook: an injected fault behaves exactly like a failed bundle
 	// load (exercises the retry/backoff and circuit-breaker path).
 	err := faultinject.At("serve.reload")
 	if err == nil {
-		b, m, err = persist.LoadBundle(r.dir)
+		b, m, info, err = persist.ResolveBundle(r.dir)
 	}
 	if err != nil {
 		obs.Inc("serve.model.reload_errors")
 		return nil, err
 	}
+	if info.Fallback {
+		// The pointer's designated generation was unusable (torn
+		// promotion, disk rot) — an older generation or the base bundle is
+		// serving instead.
+		obs.Inc("serve.model.gen_fallback")
+	}
 	r.gen++
-	mod := newModel(b, m, r.gen)
+	mod := newModel(b, m, r.gen, info)
 	r.cur.Store(mod)
 	obs.Inc("serve.model.reloads")
 	obs.SetGauge("serve.model.version", float64(mod.Version))
 	obs.SetGauge("serve.model.front_ends", float64(len(b.FrontEnds)))
-	setFootprintGauges(r.dir, b, m)
+	obs.SetGauge("serve.model.generation", float64(info.Generation))
+	setFootprintGauges(info.Dir, b, m)
 	return mod, nil
 }
 

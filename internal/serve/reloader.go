@@ -83,7 +83,18 @@ func newReloader(reg *Registry, pol ReloadPolicy, clock Clock) *reloader {
 	if clock == nil {
 		clock = realClock{}
 	}
+	obs.SetGauge("serve.reload.breaker_open", 0)
 	return &reloader{reg: reg, pol: pol, clock: clock}
+}
+
+// breakerOpen reports whether the circuit breaker currently rejects
+// reloads — surfaced on /readyz (a process that cannot pick up a new
+// model is not ready for orchestration purposes) and as the
+// serve.reload.breaker_open gauge.
+func (rl *reloader) breakerOpen() bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.fails >= rl.pol.TripAfter && rl.clock.Now().Before(rl.openUntil)
 }
 
 // Reload runs one reload operation: up to 1+Retries attempts with

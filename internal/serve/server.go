@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/cascade"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
@@ -45,6 +46,11 @@ type Config struct {
 	Reload ReloadPolicy
 	// Cascade opts into the two-tier scoring cascade (see cascade.go).
 	Cascade CascadeConfig
+	// Adapt opts into online DBA self-training (see adapt.go): "" or
+	// "off" disables it (the default — serving is then bit-identical to a
+	// build without the subsystem); "on"/"default" selects
+	// adapt.DefaultPolicy; anything else parses as a policy spec.
+	Adapt string
 
 	// AccessLog receives sampled JSON access-log lines, one object per
 	// line (nil: access logging off).
@@ -106,6 +112,10 @@ type Server struct {
 	// cascadePolicy is the parsed threshold-offset policy; read-only
 	// after New. Meaningful only when cfg.Cascade.Enabled.
 	cascadePolicy cascade.Policy
+
+	// adapter is the online self-training loop, nil unless cfg.Adapt
+	// selects a policy (see adapt.go).
+	adapter *adapt.Adapter
 }
 
 // New loads the bundle and starts the batching dispatcher. The returned
@@ -128,6 +138,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: initial model load: %w", err)
 	}
 	s.reloader = newReloader(s.reg, cfg.Reload, cfg.clock)
+	if err := s.initAdapter(); err != nil {
+		return nil, fmt.Errorf("serve: adapt: %w", err)
+	}
 	s.batcher = newBatcher(cfg.MaxBatch, cfg.QueueDepth, cfg.Workers, cfg.BatchWait, nil, cfg.clock)
 	s.batcher.windowed = !cfg.DisableTracing
 	s.traces = obs.NewTraceBuffer(0, 0, 0) // default bounds (see obs.NewTraceBuffer)
@@ -142,6 +155,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
 	s.mux.HandleFunc("/tracez", s.handleTracez)
 	s.mux.HandleFunc("/-/reload", s.instrument("reload", s.handleReload))
+	s.mux.HandleFunc("/adaptz", s.handleAdaptz)
+	s.mux.HandleFunc("/-/adapt/promote", s.instrument("adapt_promote", s.handleAdaptPromote))
+	s.mux.HandleFunc("/-/adapt/rollback", s.instrument("adapt_rollback", s.handleAdaptRollback))
 	return s, nil
 }
 
@@ -524,6 +540,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		result.Cascade = casc
 		s.noteCascadeEscalate(time.Since(cascStart), result.Degraded)
 	}
+	s.observeAdapt(j, &result, res.scores)
 	tr.noteResult(j, &result)
 	resp := ScoreResponse{
 		ModelVersion:      m.Version,
@@ -618,6 +635,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 			if fsp != nil {
 				fsp.End()
 			}
+			s.observeAdapt(j, &results[i], res.scores)
 		}
 		if cascOut[i] != nil {
 			results[i].Cascade = cascOut[i]
@@ -661,6 +679,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	m := s.reg.Current()
 	if m == nil {
 		writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	// An open reload breaker means the process cannot pick up new models
+	// (SIGHUP, cluster pushes, adapt promotions all route through it) —
+	// not ready for orchestration purposes even though in-flight scoring
+	// still works against the current model.
+	if s.reloader != nil && s.reloader.breakerOpen() {
+		writeError(w, http.StatusServiceUnavailable, "reload circuit breaker open")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -751,6 +777,11 @@ func (s *Server) Run(ctx context.Context, l net.Listener) error {
 // within DrainTimeout.
 func (s *Server) RunHandler(ctx context.Context, l net.Listener, h http.Handler) error {
 	hs := &http.Server{Handler: h}
+	if s.adapter != nil {
+		actx, acancel := context.WithCancel(ctx)
+		defer acancel()
+		go s.adapter.Run(actx)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(l) }()
 	select {
